@@ -1,0 +1,53 @@
+//! Baseline comparison: similarity-aware edge filtering (the paper) vs
+//! Spielman–Srivastava effective-resistance sampling [17], at matched edge
+//! budgets.
+//!
+//! Timing is the bench payload; the achieved exact condition numbers are
+//! printed once to the bench log so quality can be compared alongside.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sass_core::baseline::{spielman_srivastava, SsConfig};
+use sass_core::{sparsify, SparsifyConfig};
+use sass_eigen::pencil::dense_generalized_eigenvalues;
+use sass_graph::generators::circuit_grid;
+use sass_graph::Graph;
+
+fn kappa(g: &Graph, p: &Graph) -> f64 {
+    let vals = dense_generalized_eigenvalues(&g.laplacian(), &p.laplacian()).unwrap();
+    vals.last().unwrap() / vals.first().unwrap()
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_ss");
+    group.sample_size(10);
+    let g = circuit_grid(16, 16, 0.2, 7);
+
+    // Quality snapshot at a matched edge budget.
+    let sa = sparsify(&g, &SparsifyConfig::new(50.0).with_seed(1)).unwrap();
+    let budget = sa.graph().m();
+    let factor = budget as f64 / g.n() as f64;
+    let ss = spielman_srivastava(&g, &SsConfig::with_sample_factor(g.n(), 2.0 * factor)).unwrap();
+    eprintln!(
+        "[baseline] similarity-aware: {} edges, exact kappa {:.1}",
+        sa.graph().m(),
+        kappa(&g, sa.graph())
+    );
+    eprintln!(
+        "[baseline] spielman-srivastava: {} edges, exact kappa {:.1}",
+        ss.m(),
+        kappa(&g, &ss)
+    );
+
+    group.bench_function("similarity_aware_s50", |b| {
+        b.iter(|| sparsify(&g, &SparsifyConfig::new(50.0).with_seed(1)).unwrap())
+    });
+    group.bench_function("spielman_srivastava", |b| {
+        b.iter(|| {
+            spielman_srivastava(&g, &SsConfig::with_sample_factor(g.n(), 2.0 * factor)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

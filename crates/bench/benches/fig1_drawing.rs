@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 1: spectral drawing (two smallest nontrivial
+//! eigenvectors) of the airfoil mesh vs its sparsifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sass_core::{sparsify, SparsifyConfig};
+use sass_graph::generators::airfoil_mesh;
+use sass_gsp::drawing::spectral_coordinates;
+
+fn bench_drawing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_drawing");
+    group.sample_size(10);
+    let (g, _) = airfoil_mesh(16, 48, 51);
+    let sp = sparsify(&g, &SparsifyConfig::new(50.0).with_seed(8)).unwrap();
+    let lg = g.laplacian();
+    let lp = sp.graph().laplacian();
+    group.bench_function("drawing_original", |b| {
+        b.iter(|| spectral_coordinates(&lg, 2).unwrap())
+    });
+    group.bench_function("drawing_sparsified", |b| {
+        b.iter(|| spectral_coordinates(&lp, 2).unwrap())
+    });
+    group.bench_function("sparsify_airfoil_s50", |b| {
+        b.iter(|| sparsify(&g, &SparsifyConfig::new(50.0).with_seed(8)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_drawing);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Fig. 2: off-tree edge heat embedding (the
+//! `t`-step generalized power iterations) at varying `t` and probe counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_core::embedding::off_tree_heat;
+use sass_graph::generators::circuit_grid;
+use sass_graph::{spanning, RootedTree};
+use sass_solver::GroundedSolver;
+use sass_sparse::ordering::OrderingKind;
+
+fn bench_heat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_heat");
+    group.sample_size(10);
+    let g = circuit_grid(48, 48, 0.12, 61);
+    let tree_ids = spanning::max_weight_spanning_tree(&g).unwrap();
+    let rooted = RootedTree::new(&g, tree_ids.clone(), 0).unwrap();
+    let off = rooted.off_tree_edges(&g);
+    let p = g.subgraph_with_edges(tree_ids);
+    let lg = g.laplacian();
+    let solver = GroundedSolver::new(&p.laplacian(), OrderingKind::MinDegree).unwrap();
+
+    for t in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("embed_t", t), &t, |b, &t| {
+            b.iter(|| off_tree_heat(&g, &off, &lg, &solver, t, 8, 77))
+        });
+    }
+    for r in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("embed_r", r), &r, |b, &r| {
+            b.iter(|| off_tree_heat(&g, &off, &lg, &solver, 2, r, 77))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heat);
+criterion_main!(benches);

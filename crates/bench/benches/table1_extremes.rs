@@ -1,0 +1,38 @@
+//! Criterion bench for Table 1: cost of the extreme-eigenvalue estimators
+//! versus the dense reference eigensolver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_bench::workloads::table1_cases;
+use sass_core::extremes::estimate_extremes;
+use sass_eigen::pencil::dense_generalized_eigenvalues;
+use sass_graph::spanning;
+use sass_solver::GroundedSolver;
+use sass_sparse::ordering::OrderingKind;
+
+fn bench_extremes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_extremes");
+    group.sample_size(10);
+    for w in table1_cases().into_iter().take(3) {
+        let g = w.graph;
+        let tree_ids = spanning::max_weight_spanning_tree(&g).unwrap();
+        let p = g.subgraph_with_edges(tree_ids);
+        let lg = g.laplacian();
+        let lp = p.laplacian();
+        let solver = GroundedSolver::new(&lp, OrderingKind::MinDegree).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("estimators", w.name), &(), |b, ()| {
+            b.iter(|| estimate_extremes(&g, &p, &lg, &lp, &solver, 10, 7))
+        });
+        // The reference eigensolver is orders of magnitude slower — bench
+        // only the smallest case to keep total runtime sane.
+        if w.name == "fem3d-7" {
+            group.bench_with_input(BenchmarkId::new("dense_reference", w.name), &(), |b, ()| {
+                b.iter(|| dense_generalized_eigenvalues(&lg, &lp).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extremes);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Table 2: sparsification cost and PCG solve cost at
+//! the two similarity targets σ² ∈ {50, 200}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sass_bench::workloads::table2_cases_small;
+use sass_core::{sparsify, SparsifyConfig};
+use sass_solver::{pcg, GroundedSolver, LaplacianPrec, PcgOptions};
+use sass_sparse::dense;
+use sass_sparse::ordering::OrderingKind;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_pcg");
+    group.sample_size(10);
+    for w in table2_cases_small() {
+        let g = w.graph;
+        for sigma2 in [50.0, 200.0] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("sparsify_s{sigma2}"), w.name),
+                &(),
+                |b, ()| b.iter(|| sparsify(&g, &SparsifyConfig::new(sigma2).with_seed(1)).unwrap()),
+            );
+            // Pre-build the preconditioner once; bench only the PCG solve,
+            // which is what the paper's Nσ² column measures.
+            let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_seed(1)).unwrap();
+            let lp = sp.graph().laplacian();
+            let prec = LaplacianPrec::new(
+                GroundedSolver::new(&lp, OrderingKind::MinDegree).unwrap(),
+            );
+            let lg = g.laplacian();
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut rhs: Vec<f64> = (0..g.n()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            dense::center(&mut rhs);
+            group.bench_with_input(
+                BenchmarkId::new(format!("pcg_solve_s{sigma2}"), w.name),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        let (_, stats) = pcg(&lg, &rhs, &prec, &PcgOptions::paper_accuracy());
+                        assert!(stats.converged);
+                        stats.iterations
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

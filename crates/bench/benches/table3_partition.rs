@@ -1,0 +1,51 @@
+//! Criterion bench for Table 3: direct vs sparsifier-accelerated spectral
+//! partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_core::SparsifyConfig;
+use sass_graph::generators::{circuit_grid, grid2d, WeightModel};
+use sass_partition::{partition, Backend, PartitionOptions};
+use sass_solver::PcgOptions;
+use sass_sparse::ordering::OrderingKind;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_partition");
+    group.sample_size(10);
+    let cases = vec![
+        ("mesh-60", grid2d(60, 60, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 35)),
+        ("circuit-50", circuit_grid(50, 50, 0.1, 31)),
+    ];
+    for (name, g) in cases {
+        group.bench_with_input(BenchmarkId::new("direct", name), &(), |b, ()| {
+            b.iter(|| {
+                partition(
+                    &g,
+                    &PartitionOptions {
+                        backend: Backend::Direct { ordering: OrderingKind::NestedDissection },
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sparsified", name), &(), |b, ()| {
+            b.iter(|| {
+                partition(
+                    &g,
+                    &PartitionOptions {
+                        backend: Backend::Sparsified {
+                            config: SparsifyConfig::new(200.0).with_seed(5),
+                            pcg: PcgOptions { tol: 1e-6, ..Default::default() },
+                        },
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for Table 4: complex-network sparsification and the
+//! eigensolve speedup it buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_bench::workloads::table4_cases_small;
+use sass_core::{sparsify, SparsifyConfig};
+use sass_eigen::lanczos::{lanczos_smallest_laplacian, LanczosOptions};
+use sass_sparse::ordering::OrderingKind;
+
+fn bench_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_networks");
+    group.sample_size(10);
+    for w in table4_cases_small() {
+        let g = w.graph;
+        group.bench_with_input(BenchmarkId::new("sparsify_s100", w.name), &(), |b, ()| {
+            b.iter(|| sparsify(&g, &SparsifyConfig::new(100.0).with_seed(3)).unwrap())
+        });
+        let sp = sparsify(&g, &SparsifyConfig::new(100.0).with_seed(3)).unwrap();
+        let lg = g.laplacian();
+        let lp = sp.graph().laplacian();
+        let opts = LanczosOptions { max_dim: 150, tol: 1e-6, seed: 4 };
+        group.bench_with_input(BenchmarkId::new("eig10_original", w.name), &(), |b, ()| {
+            b.iter(|| {
+                lanczos_smallest_laplacian(&lg, 10, OrderingKind::MinDegree, &opts).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("eig10_sparsified", w.name), &(), |b, ()| {
+            b.iter(|| {
+                lanczos_smallest_laplacian(&lp, 10, OrderingKind::MinDegree, &opts).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

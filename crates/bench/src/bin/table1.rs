@@ -1,0 +1,72 @@
+//! Table 1 reproduction: accuracy of the extreme generalized eigenvalue
+//! estimators (paper §4.1).
+//!
+//! For each test case, a maximum-weight spanning tree is used as the
+//! sparsifier `P`; the exact extremes of the pencil `(L_G, L_P)` come from
+//! the dense generalized eigensolver (the `eigs` stand-in), and the paper's
+//! estimators supply `λ̃max` (≤ 10 generalized power iterations, §3.6.1)
+//! and `λ̃min` (degree-ratio node coloring, §3.6.2).
+//!
+//! Paper shape to reproduce: `λmax` relative errors of a few percent,
+//! `λmin` errors around 4–11%, estimates biased as bounds
+//! (`λ̃max ≤ λmax`, `λ̃min ≥ λmin`).
+
+use sass_bench::workloads::table1_cases;
+use sass_bench::{timeit, Table};
+use sass_core::extremes::{estimate_extremes, estimate_lambda_min_set};
+use sass_eigen::pencil::dense_generalized_eigenvalues;
+use sass_graph::spanning;
+use sass_solver::GroundedSolver;
+use sass_sparse::ordering::OrderingKind;
+
+fn main() {
+    println!("Table 1: extreme generalized eigenvalue estimation");
+    println!("(sparsifier P = maximum-weight spanning tree; exact = dense generalized eig)\n");
+    let mut table = Table::new([
+        "case", "paper-case", "|V|", "|E|", "lmin", "~lmin", "err%", "~lmin*", "err*%", "lmax",
+        "~lmax", "err%",
+    ]);
+    for w in table1_cases() {
+        let g = &w.graph;
+        let tree_ids = spanning::max_weight_spanning_tree(g).expect("connected workload");
+        let p = g.subgraph_with_edges(tree_ids);
+        let lg = g.laplacian();
+        let lp = p.laplacian();
+
+        let (exact, t_exact) =
+            timeit(|| dense_generalized_eigenvalues(&lg, &lp).expect("dense reference"));
+        let (exact_min, exact_max) = (exact[0], *exact.last().unwrap());
+
+        let solver = GroundedSolver::new(&lp, OrderingKind::MinDegree).expect("factorize P");
+        let (est, t_est) = timeit(|| estimate_extremes(g, &p, &lg, &lp, &solver, 10, 7));
+
+        // Our extension: the set-grown Eq. 17 bound (paper uses Eq. 18).
+        let lmin_set = estimate_lambda_min_set(g, &p, 32);
+        let err_min = 100.0 * (est.lambda_min - exact_min).abs() / exact_min;
+        let err_min_set = 100.0 * (lmin_set - exact_min).abs() / exact_min;
+        let err_max = 100.0 * (est.lambda_max - exact_max).abs() / exact_max;
+        table.row([
+            w.name.to_string(),
+            w.paper_case.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            format!("{exact_min:.3}"),
+            format!("{:.3}", est.lambda_min),
+            format!("{err_min:.1}"),
+            format!("{lmin_set:.3}"),
+            format!("{err_min_set:.1}"),
+            format!("{exact_max:.1}"),
+            format!("{:.1}", est.lambda_max),
+            format!("{err_max:.1}"),
+        ]);
+        eprintln!(
+            "  [{}] exact reference {:.2?}, estimators {:.2?}",
+            w.name, t_exact, t_est
+        );
+    }
+    println!("{}", table.render());
+    println!("expected shape: ~lmin >= lmin (upper bound), ~lmax <= lmax (lower bound),");
+    println!("lmax errors of a few percent with <= 10 power iterations (paper: 2.0-6.1%),");
+    println!("lmin errors usually below ~15% (paper: 4.3-10.5%). ~lmin* is our extension:
+the greedy set-grown Eq. 17 bound, never worse than the single-vertex Eq. 18.");
+}

@@ -1,0 +1,108 @@
+//! Reproduction harness for the DAC'18 paper's tables and figures.
+//!
+//! One **binary** per table/figure regenerates the paper's rows on the
+//! synthetic workload catalog ([`workloads`]); one **Criterion bench** per
+//! table/figure measures the underlying kernels. `DESIGN.md` maps every
+//! experiment to its module and target; `EXPERIMENTS.md` records
+//! paper-vs-measured outcomes.
+//!
+//! Run the row printers with, e.g.:
+//!
+//! ```text
+//! cargo run -p sass-bench --release --bin table2
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod workloads;
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its output and the wall-clock duration.
+pub fn timeit<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Formats a duration as compact seconds (e.g. `0.52s`).
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+/// Formats a byte count as mebibytes (e.g. `12.3M`).
+pub fn fmt_mib(bytes: usize) -> String {
+    format!("{:.1}M", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Simple fixed-width table printer for paper-style rows.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["case", "n", "time"]);
+        t.row(["grid", "100", "0.50s"]);
+        t.row(["longer-name", "2", "12.00s"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("case"));
+        assert!(lines[3].contains("longer-name"));
+    }
+
+    #[test]
+    fn timing_and_formats() {
+        let (v, d) = timeit(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(fmt_secs(d).ends_with('s'));
+        assert_eq!(fmt_mib(1024 * 1024), "1.0M");
+    }
+}

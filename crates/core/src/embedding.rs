@@ -1,0 +1,213 @@
+//! Spectral embedding of off-tree edges via generalized power iterations
+//! (paper §3.2).
+//!
+//! Starting from `r` random vectors `h₀`, the `t`-step iterate
+//! `h_t = (L_P⁺ L_G)^t h₀` amplifies the components along generalized
+//! eigenvectors with large eigenvalues by `λᵢ^t`. The *Joule heat* of an
+//! off-tree edge `(p, q)` under `h_t`,
+//!
+//! ```text
+//! heat(p,q) = w_pq · Σ_j (h_t,j(p) − h_t,j(q))²
+//! ```
+//!
+//! (summed over the `r` probes), therefore ranks edges by how strongly they
+//! interact with the dominant generalized eigenvalues — the edges whose
+//! recovery most reduces `λmax` (paper Eq. 6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sass_graph::Graph;
+use sass_solver::GroundedSolver;
+use sass_sparse::{dense, CsrMatrix};
+
+/// Per-edge Joule heat of the off-tree edges, plus the probe vectors'
+/// final iterates (useful for diagnostics and the GSP crate).
+#[derive(Debug, Clone)]
+pub struct OffTreeHeat {
+    /// Joule heat per off-tree edge, parallel to the `off_tree` id slice
+    /// passed to [`off_tree_heat`].
+    pub heat: Vec<f64>,
+    /// The maximum heat over all off-tree edges (0 when there are none).
+    pub heat_max: f64,
+}
+
+impl OffTreeHeat {
+    /// Normalized heat `θ(e) = heat(e)/heat_max` per off-tree edge.
+    pub fn normalized(&self) -> Vec<f64> {
+        if self.heat_max <= 0.0 {
+            return vec![0.0; self.heat.len()];
+        }
+        self.heat.iter().map(|h| h / self.heat_max).collect()
+    }
+}
+
+/// Computes the Joule heat of each off-tree edge by `t`-step generalized
+/// power iterations with `r` random probe vectors.
+///
+/// `lg` must be the Laplacian of `g` and `solver_p` a grounded
+/// factorization of the current sparsifier's Laplacian. Iterates are
+/// normalized per step for floating-point safety, which rescales all heats
+/// of one probe uniformly and leaves normalized heats unchanged.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or an off-tree edge id is out of range.
+///
+/// # Example
+///
+/// ```
+/// use sass_core::embedding::off_tree_heat;
+/// use sass_graph::{spanning, Graph, RootedTree};
+/// use sass_solver::GroundedSolver;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])?;
+/// let tree_ids = spanning::bfs_spanning_tree(&g, 0)?;
+/// let tree = RootedTree::new(&g, tree_ids.clone(), 0)?;
+/// let off: Vec<u32> = tree.off_tree_edges(&g);
+/// let p = g.subgraph_with_edges(tree_ids);
+/// let solver = GroundedSolver::new(&p.laplacian(), Default::default())?;
+/// let res = off_tree_heat(&g, &off, &g.laplacian(), &solver, 2, 4, 1);
+/// assert_eq!(res.heat.len(), off.len());
+/// assert!(res.heat_max > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn off_tree_heat(
+    g: &Graph,
+    off_tree: &[u32],
+    lg: &CsrMatrix,
+    solver_p: &GroundedSolver,
+    t: usize,
+    r: usize,
+    seed: u64,
+) -> OffTreeHeat {
+    let n = g.n();
+    assert_eq!(lg.nrows(), n, "laplacian dimension mismatch");
+    assert_eq!(solver_p.n(), n, "solver dimension mismatch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut heat = vec![0.0f64; off_tree.len()];
+    let mut h = vec![0.0f64; n];
+    let mut tmp = vec![0.0f64; n];
+
+    for _probe in 0..r.max(1) {
+        for hi in h.iter_mut() {
+            *hi = rng.gen_range(-1.0f64..1.0);
+        }
+        dense::center(&mut h);
+        dense::normalize(&mut h);
+        for _step in 0..t {
+            lg.mul_vec_into(&h, &mut tmp);
+            solver_p.solve_into(&tmp, &mut h);
+            dense::normalize(&mut h);
+        }
+        for (slot, &id) in heat.iter_mut().zip(off_tree) {
+            let e = g.edge(id as usize);
+            let d = h[e.u as usize] - h[e.v as usize];
+            *slot += e.weight * d * d;
+        }
+    }
+    let heat_max = heat.iter().copied().fold(0.0, f64::max);
+    OffTreeHeat { heat, heat_max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass_graph::generators::{grid2d, WeightModel};
+    use sass_graph::{spanning, LcaIndex, RootedTree};
+    use sass_sparse::ordering::OrderingKind;
+
+    /// Heat setup over a grid with its max-weight spanning tree.
+    fn setup(nx: usize, ny: usize, seed: u64) -> (Graph, Vec<u32>, OffTreeHeat, RootedTree) {
+        let g = grid2d(nx, ny, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, seed);
+        let tree_ids = spanning::max_weight_spanning_tree(&g).unwrap();
+        let tree = RootedTree::new(&g, tree_ids.clone(), 0).unwrap();
+        let off = tree.off_tree_edges(&g);
+        let p = g.subgraph_with_edges(tree_ids);
+        let solver = GroundedSolver::new(&p.laplacian(), OrderingKind::MinDegree).unwrap();
+        let res = off_tree_heat(&g, &off, &g.laplacian(), &solver, 2, 6, 42);
+        (g, off, res, tree)
+    }
+
+    #[test]
+    fn heats_are_positive_and_bounded() {
+        let (_, off, res, _) = setup(8, 8, 1);
+        assert_eq!(res.heat.len(), off.len());
+        assert!(res.heat.iter().all(|&h| h >= 0.0));
+        let normalized = res.normalized();
+        assert!(normalized.iter().all(|&t| (0.0..=1.0).contains(&t)));
+        assert!(normalized.contains(&1.0));
+    }
+
+    #[test]
+    fn heat_correlates_with_stretch() {
+        // "Spectrally unique" analysis (paper §3.3): stretch ≈ λ_i, and heat
+        // ranks by λ^(2t+1). Check rank agreement at the top: the highest-heat
+        // edge should be among the top decile by stretch.
+        let (g, off, res, tree) = setup(10, 10, 3);
+        let lca = LcaIndex::new(&tree);
+        let stretches: Vec<f64> = off
+            .iter()
+            .map(|&id| sass_graph::stretch::edge_stretch(&g, &tree, &lca, id))
+            .collect();
+        let top_heat_idx = res
+            .heat
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let mut sorted = stretches.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let decile = sorted[sorted.len() / 10];
+        assert!(
+            stretches[top_heat_idx] >= decile,
+            "top-heat edge stretch {} below decile {decile}",
+            stretches[top_heat_idx]
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (g, off, _, _) = setup(6, 6, 2);
+        let tree_ids = spanning::max_weight_spanning_tree(&g).unwrap();
+        let p = g.subgraph_with_edges(tree_ids);
+        let solver = GroundedSolver::new(&p.laplacian(), OrderingKind::MinDegree).unwrap();
+        let a = off_tree_heat(&g, &off, &g.laplacian(), &solver, 2, 4, 9);
+        let b = off_tree_heat(&g, &off, &g.laplacian(), &solver, 2, 4, 9);
+        assert_eq!(a.heat, b.heat);
+        let c = off_tree_heat(&g, &off, &g.laplacian(), &solver, 2, 4, 10);
+        assert_ne!(a.heat, c.heat);
+    }
+
+    #[test]
+    fn no_off_tree_edges_is_fine() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let solver = GroundedSolver::new(&g.laplacian(), OrderingKind::Natural).unwrap();
+        let res = off_tree_heat(&g, &[], &g.laplacian(), &solver, 2, 4, 0);
+        assert!(res.heat.is_empty());
+        assert_eq!(res.heat_max, 0.0);
+        assert!(res.normalized().is_empty());
+    }
+
+    #[test]
+    fn more_probes_stabilize_ranking() {
+        // With many probes the top edge should be stable across seeds.
+        let (g, off, _, _) = setup(8, 8, 7);
+        let tree_ids = spanning::max_weight_spanning_tree(&g).unwrap();
+        let p = g.subgraph_with_edges(tree_ids);
+        let solver = GroundedSolver::new(&p.laplacian(), OrderingKind::MinDegree).unwrap();
+        let top_set = |seed: u64| -> std::collections::HashSet<usize> {
+            let res = off_tree_heat(&g, &off, &g.laplacian(), &solver, 2, 24, seed);
+            let mut order: Vec<usize> = (0..res.heat.len()).collect();
+            order.sort_by(|&a, &b| res.heat[b].partial_cmp(&res.heat[a]).unwrap());
+            order.into_iter().take(8).collect()
+        };
+        let (a, b) = (top_set(1), top_set(2));
+        let common = a.intersection(&b).count();
+        assert!(common >= 5, "top-8 heat sets share only {common} edges");
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the sparsification pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying graph operation failed.
+    Graph(sass_graph::GraphError),
+    /// An underlying solver operation failed.
+    Solver(sass_solver::SolverError),
+    /// An underlying eigensolver operation failed.
+    Eigen(sass_eigen::EigenError),
+    /// The configuration is invalid.
+    InvalidConfig {
+        /// Description of the bad setting.
+        context: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Solver(e) => write!(f, "solver error: {e}"),
+            CoreError::Eigen(e) => write!(f, "eigen error: {e}"),
+            CoreError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Solver(e) => Some(e),
+            CoreError::Eigen(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<sass_graph::GraphError> for CoreError {
+    fn from(e: sass_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<sass_solver::SolverError> for CoreError {
+    fn from(e: sass_solver::SolverError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl From<sass_eigen::EigenError> for CoreError {
+    fn from(e: sass_eigen::EigenError) -> Self {
+        CoreError::Eigen(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = sass_graph::GraphError::Disconnected { components: 2 }.into();
+        assert!(e.to_string().contains("graph"));
+        assert!(e.source().is_some());
+        let c = CoreError::InvalidConfig { context: "sigma2 must exceed 1".into() };
+        assert!(c.to_string().contains("sigma2"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Off-tree edge filtering by normalized Joule heat (paper §3.4–3.5).
+//!
+//! Spectral sparsification acts as a *low-pass graph filter*: the sparsifier
+//! must preserve the smooth (low-frequency) Laplacian eigenvectors, and the
+//! off-tree edges worth recovering are the ones carrying high Joule heat
+//! under the dominant-eigenvector embedding. The paper turns the desired
+//! similarity `σ²` into an explicit heat threshold
+//!
+//! ```text
+//! θσ ≈ (σ² · λmin / λmax)^(2t+1)        (Eq. 15)
+//! ```
+//!
+//! and keeps exactly the edges with `heat(e)/heat_max ≥ θσ`.
+
+/// The normalized-heat threshold `θσ` of paper Eq. 15.
+///
+/// Returns a value clamped to `(0, 1]`: when the current condition estimate
+/// `λmax/λmin` already meets `σ²`, the threshold saturates at 1 and no edge
+/// passes the filter.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+///
+/// # Example
+///
+/// ```
+/// use sass_core::filter::heat_threshold;
+///
+/// // Far from the target: tiny threshold, many edges pass.
+/// let theta = heat_threshold(100.0, 1.0, 10_000.0, 2);
+/// assert!((theta - 0.01f64.powi(5)).abs() < 1e-18);
+/// // Already at the target: threshold saturates.
+/// assert_eq!(heat_threshold(100.0, 1.0, 50.0, 2), 1.0);
+/// ```
+pub fn heat_threshold(sigma2: f64, lambda_min: f64, lambda_max: f64, t: usize) -> f64 {
+    assert!(sigma2 > 0.0, "sigma2 must be positive");
+    assert!(lambda_min > 0.0, "lambda_min must be positive");
+    assert!(lambda_max > 0.0, "lambda_max must be positive");
+    let ratio = (sigma2 * lambda_min / lambda_max).min(1.0);
+    ratio.powi(2 * t as i32 + 1)
+}
+
+/// Candidate off-tree edges that pass the heat filter, sorted by
+/// descending heat and truncated to `max_count`.
+///
+/// Returns `(edge id, heat)` pairs. Edges with zero heat never pass.
+///
+/// # Panics
+///
+/// Panics if `off_tree.len() != heats.len()`.
+pub fn select_edges(
+    off_tree: &[u32],
+    heats: &[f64],
+    heat_max: f64,
+    theta: f64,
+    max_count: usize,
+) -> Vec<(u32, f64)> {
+    assert_eq!(off_tree.len(), heats.len(), "heat vector length mismatch");
+    if heat_max <= 0.0 || max_count == 0 {
+        return Vec::new();
+    }
+    let cutoff = theta * heat_max;
+    let mut passing: Vec<(u32, f64)> = off_tree
+        .iter()
+        .zip(heats)
+        .filter(|&(_, &h)| h >= cutoff && h > 0.0)
+        .map(|(&id, &h)| (id, h))
+        .collect();
+    passing.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite heats"));
+    passing.truncate(max_count);
+    passing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_monotone_in_sigma() {
+        // Larger sigma^2 target => larger threshold => fewer edges kept.
+        let t50 = heat_threshold(50.0, 1.2, 5000.0, 2);
+        let t200 = heat_threshold(200.0, 1.2, 5000.0, 2);
+        assert!(t200 > t50);
+        assert!(t50 > 0.0 && t200 <= 1.0);
+    }
+
+    #[test]
+    fn threshold_grows_as_condition_improves() {
+        // As lambda_max shrinks toward sigma^2 * lambda_min the threshold
+        // approaches 1 (fewer and fewer edges needed).
+        let early = heat_threshold(100.0, 1.0, 50_000.0, 2);
+        let late = heat_threshold(100.0, 1.0, 200.0, 2);
+        assert!(late > early);
+        assert_eq!(heat_threshold(100.0, 1.0, 100.0, 2), 1.0);
+    }
+
+    #[test]
+    fn select_respects_threshold_and_order() {
+        let ids = [10u32, 11, 12, 13];
+        let heats = [0.5, 1.0, 0.05, 0.2];
+        let picked = select_edges(&ids, &heats, 1.0, 0.1, 10);
+        let got: Vec<u32> = picked.iter().map(|&(id, _)| id).collect();
+        assert_eq!(got, vec![11, 10, 13]); // 12 is filtered out (0.05 < 0.1)
+    }
+
+    #[test]
+    fn select_truncates() {
+        let ids = [0u32, 1, 2, 3, 4];
+        let heats = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let picked = select_edges(&ids, &heats, 5.0, 0.0, 2);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].0, 0);
+        assert_eq!(picked[1].0, 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(select_edges(&[], &[], 0.0, 0.5, 10).is_empty());
+        let picked = select_edges(&[1], &[1.0], 1.0, 0.5, 0);
+        assert!(picked.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma2")]
+    fn rejects_bad_sigma() {
+        heat_threshold(0.0, 1.0, 10.0, 2);
+    }
+}

@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the eigensolvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EigenError {
+    /// An underlying solver operation failed.
+    Solver(sass_solver::SolverError),
+    /// An underlying graph operation failed.
+    Graph(sass_graph::GraphError),
+    /// An iteration failed to converge within its budget.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Last observed residual / change measure.
+        residual: f64,
+    },
+    /// Invalid request (e.g. more eigenpairs than the dimension).
+    InvalidParameter {
+        /// Description of the bad parameter.
+        context: String,
+    },
+}
+
+impl fmt::Display for EigenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EigenError::Solver(e) => write!(f, "solver error: {e}"),
+            EigenError::Graph(e) => write!(f, "graph error: {e}"),
+            EigenError::NotConverged { iterations, residual } => {
+                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e})")
+            }
+            EigenError::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
+        }
+    }
+}
+
+impl Error for EigenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EigenError::Solver(e) => Some(e),
+            EigenError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sass_solver::SolverError> for EigenError {
+    fn from(e: sass_solver::SolverError) -> Self {
+        EigenError::Solver(e)
+    }
+}
+
+impl From<sass_graph::GraphError> for EigenError {
+    fn from(e: sass_graph::GraphError) -> Self {
+        EigenError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = EigenError::NotConverged { iterations: 10, residual: 0.5 };
+        assert!(e.to_string().contains("10"));
+        let s: EigenError = sass_solver::SolverError::GroundedSingular.into();
+        assert!(s.source().is_some());
+    }
+}

@@ -1,0 +1,213 @@
+//! Dense symmetric eigensolver by cyclic Jacobi rotations.
+//!
+//! Quadratically convergent and unconditionally stable; `O(n³)` per sweep,
+//! so intended for validation and small subproblems (`n ≲ 500`). This is
+//! the workspace's ground-truth eigensolver.
+
+// Dense kernels read more clearly with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{EigenError, Result};
+
+/// Full eigendecomposition of a dense symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues ascending and
+/// `eigenvectors[k]` the unit eigenvector for `eigenvalues[k]`.
+///
+/// # Errors
+///
+/// Returns [`EigenError::InvalidParameter`] if `a` is not square/symmetric,
+/// or [`EigenError::NotConverged`] if 100 sweeps do not reach tolerance
+/// (practically unreachable for well-formed input).
+///
+/// # Example
+///
+/// ```
+/// use sass_eigen::jacobi::dense_symmetric_eig;
+///
+/// # fn main() -> Result<(), sass_eigen::EigenError> {
+/// let a = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+/// let (vals, _) = dense_symmetric_eig(&a)?;
+/// assert!((vals[0] - 1.0).abs() < 1e-12);
+/// assert!((vals[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dense_symmetric_eig(a: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
+    let n = a.len();
+    for row in a {
+        if row.len() != n {
+            return Err(EigenError::InvalidParameter {
+                context: "matrix is not square".to_string(),
+            });
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let scale = a[i][j].abs().max(a[j][i].abs()).max(1.0);
+            if (a[i][j] - a[j][i]).abs() > 1e-10 * scale {
+                return Err(EigenError::InvalidParameter {
+                    context: format!("matrix not symmetric at ({i}, {j})"),
+                });
+            }
+        }
+    }
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    let off = |m: &[Vec<f64>]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += m[i][j] * m[i][j];
+            }
+        }
+        s.sqrt()
+    };
+    let frob: f64 = m
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(|x| x * x)
+        .sum::<f64>()
+        .sqrt()
+        .max(f64::MIN_POSITIVE);
+
+    let max_sweeps = 100;
+    let mut sweeps = 0;
+    while off(&m) > 1e-13 * frob {
+        if sweeps >= max_sweeps {
+            return Err(EigenError::NotConverged {
+                iterations: sweeps,
+                residual: off(&m) / frob,
+            });
+        }
+        sweeps += 1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p][q];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[p][p];
+                let aqq = m[q][q];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, θ) on both sides.
+                for k in 0..n {
+                    let mkp = m[k][p];
+                    let mkq = m[k][q];
+                    m[k][p] = c * mkp - s * mkq;
+                    m[k][q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p][k];
+                    let mqk = m[q][k];
+                    m[p][k] = c * mpk - s * mqk;
+                    m[q][k] = s * mpk + c * mqk;
+                }
+                for row in v.iter_mut() {
+                    let vp = row[p];
+                    let vq = row[q];
+                    row[p] = c * vp - s * vq;
+                    row[q] = s * vp + c * vq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[i][i].partial_cmp(&m[j][j]).expect("finite eigenvalues"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| m[i][i]).collect();
+    let eigenvectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| (0..n).map(|row| v[row][col]).collect())
+        .collect();
+    Ok((eigenvalues, eigenvectors))
+}
+
+/// Converts a sparse CSR matrix to the dense row form consumed by
+/// [`dense_symmetric_eig`] (small matrices only).
+pub fn csr_to_dense(a: &sass_sparse::CsrMatrix) -> Vec<Vec<f64>> {
+    a.to_dense()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass_graph::Graph;
+
+    #[test]
+    fn diagonal_matrix_is_its_own_spectrum() {
+        let a = vec![vec![3.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 2.0]];
+        let (vals, vecs) = dense_symmetric_eig(&a).unwrap();
+        assert_eq!(vals.len(), 3);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 3.0).abs() < 1e-12);
+        // Eigenvector for eigenvalue 1 is e_1 (up to sign).
+        assert!(vecs[0][1].abs() > 0.999);
+    }
+
+    #[test]
+    fn path_laplacian_matches_analytic_spectrum() {
+        let n = 9;
+        let g = Graph::from_edges(
+            n,
+            &(0..n - 1).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let (vals, _) = dense_symmetric_eig(&csr_to_dense(&g.laplacian())).unwrap();
+        for (k, &v) in vals.iter().enumerate() {
+            let exact = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();
+            assert!((v - exact).abs() < 1e-10, "k={k}: {v} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let a = vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, -0.5],
+            vec![0.5, -0.5, 2.0],
+        ];
+        let (vals, vecs) = dense_symmetric_eig(&a).unwrap();
+        for (lam, v) in vals.iter().zip(&vecs) {
+            for i in 0..3 {
+                let avi: f64 = (0..3).map(|j| a[i][j] * v[j]).sum();
+                assert!((avi - lam * v[i]).abs() < 1e-10);
+            }
+        }
+        // Orthonormality.
+        for i in 0..3 {
+            for j in 0..3 {
+                let d: f64 = vecs[i].iter().zip(&vecs[j]).map(|(a, b)| a * b).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_nonsymmetric() {
+        let a = vec![vec![1.0, 2.0], vec![0.0, 1.0]];
+        assert!(matches!(
+            dense_symmetric_eig(&a),
+            Err(EigenError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn handles_trivial_sizes() {
+        let (vals, _) = dense_symmetric_eig(&[vec![7.0]]).unwrap();
+        assert_eq!(vals, vec![7.0]);
+        let empty: Vec<Vec<f64>> = vec![];
+        let (vals, vecs) = dense_symmetric_eig(&empty).unwrap();
+        assert!(vals.is_empty() && vecs.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! (Deflated) power iteration.
+
+use crate::{EigenError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sass_solver::LinearOperator;
+use sass_sparse::dense;
+
+/// Options for [`power_iteration`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerOptions {
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Relative change in the eigenvalue estimate at which to stop.
+    pub tol: f64,
+    /// Seed of the random start vector.
+    pub seed: u64,
+}
+
+impl Default for PowerOptions {
+    fn default() -> Self {
+        PowerOptions { max_iter: 200, tol: 1e-9, seed: 0xbeef }
+    }
+}
+
+/// Power iteration for the largest eigenpair of a symmetric operator.
+///
+/// With `deflate_constant`, iterates are kept orthogonal to the all-ones
+/// vector (for singular Laplacians). Returns `(eigenvalue, unit vector)`.
+/// The estimate is the Rayleigh quotient of the final iterate, so it is
+/// always a *lower* bound for the true largest eigenvalue.
+///
+/// # Errors
+///
+/// Returns [`EigenError::InvalidParameter`] for a zero-dimensional operator.
+/// A run that hits `max_iter` without meeting `tol` returns the current
+/// estimate (power iterations degrade gracefully; callers that need
+/// certainty use [`crate::lanczos`]).
+///
+/// # Example
+///
+/// ```
+/// use sass_eigen::power::{power_iteration, PowerOptions};
+/// use sass_graph::Graph;
+///
+/// # fn main() -> Result<(), sass_eigen::EigenError> {
+/// let g = Graph::from_edges(2, &[(0, 1, 1.0)])?;
+/// let (lambda, _) = power_iteration(&g.laplacian(), true, &PowerOptions::default())?;
+/// assert!((lambda - 2.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn power_iteration<A>(
+    op: &A,
+    deflate_constant: bool,
+    opts: &PowerOptions,
+) -> Result<(f64, Vec<f64>)>
+where
+    A: LinearOperator + ?Sized,
+{
+    let n = op.dim();
+    if n == 0 {
+        return Err(EigenError::InvalidParameter { context: "empty operator".to_string() });
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    if deflate_constant {
+        dense::center(&mut x);
+    }
+    dense::normalize(&mut x);
+    let mut y = vec![0.0; n];
+    let mut lambda = 0.0f64;
+    for _ in 0..opts.max_iter {
+        op.apply(&x, &mut y);
+        if deflate_constant {
+            dense::center(&mut y);
+        }
+        let new_lambda = dense::dot(&x, &y);
+        let norm = dense::norm2(&y);
+        if norm == 0.0 {
+            // x is in the nullspace; restart once with a new vector.
+            x = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            if deflate_constant {
+                dense::center(&mut x);
+            }
+            dense::normalize(&mut x);
+            continue;
+        }
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm;
+        }
+        if (new_lambda - lambda).abs() <= opts.tol * new_lambda.abs().max(1e-300) {
+            return Ok((new_lambda, x));
+        }
+        lambda = new_lambda;
+    }
+    Ok((lambda, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::{csr_to_dense, dense_symmetric_eig};
+    use sass_graph::generators::{grid2d, WeightModel};
+
+    #[test]
+    fn matches_jacobi_largest() {
+        let g = grid2d(6, 6, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 4);
+        let l = g.laplacian();
+        let (lambda, v) = power_iteration(&l, true, &PowerOptions::default()).unwrap();
+        let (jvals, _) = dense_symmetric_eig(&csr_to_dense(&l)).unwrap();
+        let exact = *jvals.last().unwrap();
+        assert!((lambda - exact).abs() < 1e-5 * exact, "{lambda} vs {exact}");
+        assert!((dense::norm2(&v) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn estimate_is_lower_bound() {
+        let g = grid2d(8, 8, WeightModel::Unit, 0);
+        let l = g.laplacian();
+        let opts = PowerOptions { max_iter: 5, ..Default::default() };
+        let (lambda, _) = power_iteration(&l, true, &opts).unwrap();
+        let (jvals, _) = dense_symmetric_eig(&csr_to_dense(&l)).unwrap();
+        assert!(lambda <= *jvals.last().unwrap() + 1e-9);
+        assert!(lambda > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = grid2d(5, 4, WeightModel::Unit, 0);
+        let l = g.laplacian();
+        let a = power_iteration(&l, true, &PowerOptions::default()).unwrap();
+        let b = power_iteration(&l, true, &PowerOptions::default()).unwrap();
+        assert_eq!(a.0, b.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Implicit-shift QL eigensolver for symmetric tridiagonal matrices.
+//!
+//! The companion of [`crate::lanczos`]: Lanczos reduces a large operator to
+//! a small tridiagonal `T`; this module diagonalizes `T` exactly.
+
+use crate::{EigenError, Result};
+
+/// Eigendecomposition of the symmetric tridiagonal matrix with diagonal
+/// `alpha` (length `n`) and off-diagonal `beta` (length `n − 1`).
+///
+/// Returns `(eigenvalues, s)` with eigenvalues ascending; `s[k]` is the unit
+/// eigenvector for `eigenvalues[k]` expressed in the tridiagonal basis.
+///
+/// # Errors
+///
+/// Returns [`EigenError::InvalidParameter`] on length mismatch and
+/// [`EigenError::NotConverged`] if an eigenvalue needs more than 50 QL
+/// iterations (practically unreachable).
+///
+/// # Example
+///
+/// ```
+/// use sass_eigen::tridiag::tridiagonal_eig;
+///
+/// # fn main() -> Result<(), sass_eigen::EigenError> {
+/// // [[2, -1], [-1, 2]] has eigenvalues 1 and 3.
+/// let (vals, _) = tridiagonal_eig(&[2.0, 2.0], &[-1.0])?;
+/// assert!((vals[0] - 1.0).abs() < 1e-12);
+/// assert!((vals[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn tridiagonal_eig(alpha: &[f64], beta: &[f64]) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
+    let n = alpha.len();
+    if n == 0 {
+        return Ok((Vec::new(), Vec::new()));
+    }
+    if beta.len() + 1 != n {
+        return Err(EigenError::InvalidParameter {
+            context: format!("beta length {} != alpha length {} - 1", beta.len(), n),
+        });
+    }
+    let mut d = alpha.to_vec();
+    // e is padded to length n with a trailing zero, as in the classic tqli.
+    let mut e = beta.to_vec();
+    e.push(0.0);
+    let mut z = vec![vec![0.0; n]; n];
+    for (i, row) in z.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find the first small off-diagonal beyond l.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 50 {
+                return Err(EigenError::NotConverged { iterations: iter, residual: e[l].abs() });
+            }
+            // Implicit shift from the 2x2 trailing block.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0, 1.0);
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                for row in z.iter_mut() {
+                    f = row[i + 1];
+                    row[i + 1] = s * row[i] + c * f;
+                    row[i] = c * row[i] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("finite eigenvalues"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let eigenvectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| (0..n).map(|row| z[row][col]).collect())
+        .collect();
+    Ok((eigenvalues, eigenvectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::dense_symmetric_eig;
+
+    #[test]
+    fn matches_jacobi_on_random_tridiagonal() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 24;
+        let alpha: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let beta: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (vals, vecs) = tridiagonal_eig(&alpha, &beta).unwrap();
+
+        let mut dense = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            dense[i][i] = alpha[i];
+            if i + 1 < n {
+                dense[i][i + 1] = beta[i];
+                dense[i + 1][i] = beta[i];
+            }
+        }
+        let (jvals, _) = dense_symmetric_eig(&dense).unwrap();
+        for (a, b) in vals.iter().zip(&jvals) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // Residual check: T s = λ s.
+        for (lam, s) in vals.iter().zip(&vecs) {
+            for i in 0..n {
+                let mut ts = alpha[i] * s[i];
+                if i > 0 {
+                    ts += beta[i - 1] * s[i - 1];
+                }
+                if i + 1 < n {
+                    ts += beta[i] * s[i + 1];
+                }
+                assert!((ts - lam * s[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_path_spectrum() {
+        // Path-graph Laplacian is tridiagonal: diag [1,2,...,2,1], off -1.
+        let n = 12;
+        let mut alpha = vec![2.0; n];
+        alpha[0] = 1.0;
+        alpha[n - 1] = 1.0;
+        let beta = vec![-1.0; n - 1];
+        let (vals, _) = tridiagonal_eig(&alpha, &beta).unwrap();
+        for (k, &v) in vals.iter().enumerate() {
+            let exact = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();
+            assert!((v - exact).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let (vals, vecs) = tridiagonal_eig(&[5.0], &[]).unwrap();
+        assert_eq!(vals, vec![5.0]);
+        assert_eq!(vecs, vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(tridiagonal_eig(&[1.0, 2.0], &[]).is_err());
+    }
+}

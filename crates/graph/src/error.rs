@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and tree extraction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint was not a valid vertex index.
+    VertexOutOfBounds {
+        /// The offending vertex index.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// A non-positive edge weight was supplied where positivity is required.
+    NonPositiveWeight {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// An operation requiring a connected graph received a disconnected one.
+    Disconnected {
+        /// Number of connected components found.
+        components: usize,
+    },
+    /// An edge set did not form a spanning tree of the host graph.
+    NotSpanningTree {
+        /// Description of the violation.
+        context: String,
+    },
+    /// A matrix could not be interpreted as a graph Laplacian.
+    NotLaplacian {
+        /// Description of the violation.
+        context: String,
+    },
+    /// A generator or algorithm was asked for an impossible configuration.
+    InvalidParameter {
+        /// Description of the bad parameter.
+        context: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds { vertex, n } => {
+                write!(f, "vertex {vertex} out of bounds for graph with {n} vertices")
+            }
+            GraphError::NonPositiveWeight { u, v, weight } => {
+                write!(f, "edge ({u}, {v}) has non-positive weight {weight}")
+            }
+            GraphError::Disconnected { components } => {
+                write!(f, "graph is disconnected ({components} components)")
+            }
+            GraphError::NotSpanningTree { context } => {
+                write!(f, "edge set is not a spanning tree: {context}")
+            }
+            GraphError::NotLaplacian { context } => {
+                write!(f, "matrix is not a graph laplacian: {context}")
+            }
+            GraphError::InvalidParameter { context } => {
+                write!(f, "invalid parameter: {context}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = GraphError::Disconnected { components: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

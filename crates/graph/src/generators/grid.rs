@@ -1,0 +1,170 @@
+use super::WeightModel;
+use crate::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 2-D grid graph (`nx × ny`, 5-point stencil).
+///
+/// With unit weights this is the `ecology2`/`tmt_sym` family of Laplacians;
+/// with random weights it matches the synthesized "mesh" graphs of the
+/// paper's Table 3.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// use sass_graph::generators::{grid2d, WeightModel};
+///
+/// let g = grid2d(4, 3, WeightModel::Unit, 0);
+/// assert_eq!(g.n(), 12);
+/// assert_eq!(g.m(), 4 * 2 + 3 * 3); // horizontal + vertical edges
+/// ```
+pub fn grid2d(nx: usize, ny: usize, weights: WeightModel, seed: u64) -> Graph {
+    assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |x: usize, y: usize| y * nx + x;
+    let mut b = GraphBuilder::with_capacity(nx * ny, 2 * nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                b.add_edge(id(x, y), id(x + 1, y), weights.sample(&mut rng));
+            }
+            if y + 1 < ny {
+                b.add_edge(id(x, y), id(x, y + 1), weights.sample(&mut rng));
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3-D grid graph (`nx × ny × nz`, 7-point stencil) — the `fe_rotor` /
+/// `brack2` style volumetric Laplacian family.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn grid3d(nx: usize, ny: usize, nz: usize, weights: WeightModel, seed: u64) -> Graph {
+    assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut b = GraphBuilder::with_capacity(nx * ny * nz, 3 * nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    b.add_edge(id(x, y, z), id(x + 1, y, z), weights.sample(&mut rng));
+                }
+                if y + 1 < ny {
+                    b.add_edge(id(x, y, z), id(x, y + 1, z), weights.sample(&mut rng));
+                }
+                if z + 1 < nz {
+                    b.add_edge(id(x, y, z), id(x, y, z + 1), weights.sample(&mut rng));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Power-grid-style graph: a 2-D grid with log-uniform conductances plus a
+/// fraction of random short-range "via" links — our stand-in for the
+/// `G2_circuit`/`G3_circuit` matrices.
+///
+/// `via_fraction` is the number of extra via edges relative to `n`
+/// (e.g. `0.1` adds `0.1·n` vias). Vias connect vertices at Chebyshev
+/// distance ≤ 4 on the grid, mimicking inter-layer connections.
+///
+/// # Panics
+///
+/// Panics if a dimension is zero or `via_fraction` is negative.
+pub fn circuit_grid(nx: usize, ny: usize, via_fraction: f64, seed: u64) -> Graph {
+    assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+    assert!(via_fraction >= 0.0, "via_fraction must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = WeightModel::LogUniform { lo: 1e-1, hi: 1e1 };
+    let id = |x: usize, y: usize| y * nx + x;
+    let n = nx * ny;
+    let n_vias = (via_fraction * n as f64).round() as usize;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n + n_vias);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                b.add_edge(id(x, y), id(x + 1, y), weights.sample(&mut rng));
+            }
+            if y + 1 < ny {
+                b.add_edge(id(x, y), id(x, y + 1), weights.sample(&mut rng));
+            }
+        }
+    }
+    // Vias: strong short-range shortcuts (higher conductance band).
+    let via_weights = WeightModel::LogUniform { lo: 1.0, hi: 1e2 };
+    for _ in 0..n_vias {
+        let x = rng.gen_range(0..nx);
+        let y = rng.gen_range(0..ny);
+        let dx = rng.gen_range(-4i64..=4);
+        let dy = rng.gen_range(-4i64..=4);
+        let x2 = (x as i64 + dx).clamp(0, nx as i64 - 1) as usize;
+        let y2 = (y as i64 + dy).clamp(0, ny as i64 - 1) as usize;
+        if (x, y) != (x2, y2) {
+            b.add_edge(id(x, y), id(x2, y2), via_weights.sample(&mut rng));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::is_connected;
+
+    #[test]
+    fn grid2d_structure() {
+        let g = grid2d(5, 4, WeightModel::Unit, 0);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 4 * 4 + 5 * 3);
+        assert!(is_connected(&g));
+        // Corner vertices have degree 2.
+        assert_eq!(g.degree(0), 2);
+        // Interior vertices have degree 4.
+        assert_eq!(g.degree(6), 4);
+    }
+
+    #[test]
+    fn grid3d_structure() {
+        let g = grid3d(3, 3, 3, WeightModel::Unit, 0);
+        assert_eq!(g.n(), 27);
+        assert_eq!(g.m(), 3 * (2 * 3 * 3)); // 2 edges per line * 9 lines * 3 axes
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(13), 6); // center vertex
+    }
+
+    #[test]
+    fn circuit_grid_is_connected_and_heavier() {
+        let g = circuit_grid(20, 20, 0.2, 7);
+        assert!(is_connected(&g));
+        let plain = grid2d(20, 20, WeightModel::Unit, 7);
+        assert!(g.m() > plain.m(), "vias should add edges");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = circuit_grid(10, 10, 0.3, 3);
+        let b = circuit_grid(10, 10, 0.3, 3);
+        assert_eq!(a.m(), b.m());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+            assert_eq!(ea.weight, eb.weight);
+        }
+    }
+
+    #[test]
+    fn random_weights_vary() {
+        let g = grid2d(6, 6, WeightModel::LogUniform { lo: 1e-2, hi: 1e2 }, 11);
+        let wmin = g.edges().iter().map(|e| e.weight).fold(f64::INFINITY, f64::min);
+        let wmax = g.edges().iter().map(|e| e.weight).fold(0.0, f64::max);
+        assert!(wmax / wmin > 10.0, "expected weight spread, got {wmin}..{wmax}");
+    }
+}

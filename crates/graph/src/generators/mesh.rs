@@ -1,0 +1,191 @@
+use crate::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Triangulated 2-D finite-element sheet: a grid with one random diagonal
+/// per cell and mildly varying element weights — the `parabolic_fem` /
+/// `raefsky3` family.
+///
+/// # Panics
+///
+/// Panics if a dimension is below 2.
+pub fn fem_mesh2d(nx: usize, ny: usize, seed: u64) -> Graph {
+    assert!(nx >= 2 && ny >= 2, "mesh dimensions must be at least 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |x: usize, y: usize| y * nx + x;
+    let mut b = GraphBuilder::with_capacity(nx * ny, 3 * nx * ny);
+    let w = |rng: &mut StdRng| rng.gen_range(0.5..2.0);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                b.add_edge(id(x, y), id(x + 1, y), w(&mut rng));
+            }
+            if y + 1 < ny {
+                b.add_edge(id(x, y), id(x, y + 1), w(&mut rng));
+            }
+            if x + 1 < nx && y + 1 < ny {
+                // Random triangulation direction per cell.
+                if rng.gen_bool(0.5) {
+                    b.add_edge(id(x, y), id(x + 1, y + 1), w(&mut rng));
+                } else {
+                    b.add_edge(id(x + 1, y), id(x, y + 1), w(&mut rng));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3-D finite-element brick: a `nx × ny × nz` grid plus a fraction of face
+/// diagonals — the `fe_rotor`/`fe_tooth`/`auto` family of tetrahedral
+/// stiffness patterns.
+///
+/// # Panics
+///
+/// Panics if a dimension is below 2.
+pub fn fem_mesh3d(nx: usize, ny: usize, nz: usize, seed: u64) -> Graph {
+    assert!(nx >= 2 && ny >= 2 && nz >= 2, "mesh dimensions must be at least 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let n = nx * ny * nz;
+    let mut b = GraphBuilder::with_capacity(n, 5 * n);
+    let w = |rng: &mut StdRng| rng.gen_range(0.5..2.0);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    b.add_edge(id(x, y, z), id(x + 1, y, z), w(&mut rng));
+                }
+                if y + 1 < ny {
+                    b.add_edge(id(x, y, z), id(x, y + 1, z), w(&mut rng));
+                }
+                if z + 1 < nz {
+                    b.add_edge(id(x, y, z), id(x, y, z + 1), w(&mut rng));
+                }
+                // xy-face diagonal on a random half of the cells.
+                if x + 1 < nx && y + 1 < ny && rng.gen_bool(0.5) {
+                    b.add_edge(id(x, y, z), id(x + 1, y + 1, z), w(&mut rng));
+                }
+                // xz-face diagonal.
+                if x + 1 < nx && z + 1 < nz && rng.gen_bool(0.5) {
+                    b.add_edge(id(x, y, z), id(x + 1, y, z + 1), w(&mut rng));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Airfoil-style annular mesh (the paper's Fig. 1 test graph): a polar grid
+/// of `rings × sectors` nodes wrapped around a teardrop-shaped hole, with
+/// ring, radial and alternating diagonal edges. Edge weights are inverse
+/// Euclidean edge lengths (FEM-style conductances).
+///
+/// Returns the graph together with node coordinates (useful for comparing
+/// spectral drawings to geometry).
+///
+/// # Panics
+///
+/// Panics if `rings < 2` or `sectors < 3`.
+pub fn airfoil_mesh(rings: usize, sectors: usize, seed: u64) -> (Graph, Vec<[f64; 2]>) {
+    assert!(rings >= 2, "need at least 2 rings");
+    assert!(sectors >= 3, "need at least 3 sectors");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rings * sectors;
+    let id = |r: usize, s: usize| r * sectors + s;
+
+    // Teardrop hole boundary: rho0(theta) = 0.3 + 0.5 * (1 + cos(theta)) / 2,
+    // chord along +x; outer boundary is a circle of radius 4.
+    let mut coords = Vec::with_capacity(n);
+    for r in 0..rings {
+        for s in 0..sectors {
+            let theta = 2.0 * std::f64::consts::PI * s as f64 / sectors as f64;
+            let rho0 = 0.3 + 0.25 * (1.0 + theta.cos());
+            let t = (r as f64 / (rings - 1) as f64).powf(1.3);
+            let rho = rho0 + (4.0 - rho0) * t;
+            // Small jitter makes the mesh irregular like a real airfoil mesh.
+            let jitter = if r == 0 || r + 1 == rings { 0.0 } else { 0.02 };
+            let dr = rng.gen_range(-jitter..=jitter);
+            coords.push([
+                (rho + dr) * theta.cos(),
+                (rho + dr) * theta.sin() * 0.8, // slight vertical squash
+            ]);
+        }
+    }
+
+    let dist = |a: usize, b: usize| -> f64 {
+        let (pa, pb) = (coords[a], coords[b]);
+        ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)).sqrt().max(1e-9)
+    };
+    let mut b = GraphBuilder::with_capacity(n, 4 * n);
+    for r in 0..rings {
+        for s in 0..sectors {
+            let here = id(r, s);
+            let next_s = id(r, (s + 1) % sectors);
+            b.add_edge(here, next_s, 1.0 / dist(here, next_s));
+            if r + 1 < rings {
+                let up = id(r + 1, s);
+                b.add_edge(here, up, 1.0 / dist(here, up));
+                // Alternate diagonals for triangulation.
+                let diag = id(r + 1, (s + 1) % sectors);
+                if (r + s) % 2 == 0 {
+                    b.add_edge(here, diag, 1.0 / dist(here, diag));
+                } else {
+                    b.add_edge(next_s, up, 1.0 / dist(next_s, up));
+                }
+            }
+        }
+    }
+    (b.build(), coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::is_connected;
+
+    #[test]
+    fn fem2d_is_connected_triangulation() {
+        let g = fem_mesh2d(10, 8, 3);
+        assert_eq!(g.n(), 80);
+        assert!(is_connected(&g));
+        // Grid edges + one diagonal per cell.
+        let grid_edges = 9 * 8 + 10 * 7;
+        let cells = 9 * 7;
+        assert_eq!(g.m(), grid_edges + cells);
+    }
+
+    #[test]
+    fn fem3d_is_connected_and_denser_than_grid() {
+        let g = fem_mesh3d(4, 4, 4, 5);
+        assert_eq!(g.n(), 64);
+        assert!(is_connected(&g));
+        let grid_edge_count = 3 * 4 * 4 * 3; // 3 axes * 4*4 lines * 3 edges
+        assert!(g.m() > grid_edge_count);
+    }
+
+    #[test]
+    fn airfoil_shape_and_connectivity() {
+        let (g, coords) = airfoil_mesh(8, 24, 1);
+        assert_eq!(g.n(), 8 * 24);
+        assert_eq!(coords.len(), g.n());
+        assert!(is_connected(&g));
+        // Every weight is a positive inverse length.
+        assert!(g.edges().iter().all(|e| e.weight > 0.0));
+        // Inner ring is near the hole, outer ring near radius 4.
+        let r_inner = (coords[0][0].powi(2) + coords[0][1].powi(2)).sqrt();
+        let outer0 = (8 - 1) * 24;
+        let r_outer = (coords[outer0][0].powi(2) + coords[outer0][1].powi(2)).sqrt();
+        assert!(r_inner < 1.0 && r_outer > 2.5);
+    }
+
+    #[test]
+    fn meshes_are_deterministic() {
+        let a = fem_mesh2d(6, 6, 9);
+        let b = fem_mesh2d(6, 6, 9);
+        assert_eq!(a.edges().len(), b.edges().len());
+        for (x, y) in a.edges().iter().zip(b.edges()) {
+            assert_eq!(x.weight, y.weight);
+        }
+    }
+}

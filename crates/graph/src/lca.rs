@@ -1,0 +1,214 @@
+use crate::RootedTree;
+
+/// O(1) lowest-common-ancestor queries over a [`RootedTree`], built from an
+/// Euler tour plus a sparse-table range-minimum structure.
+///
+/// Preprocessing is `O(n log n)` time and space; queries are `O(1)`. The
+/// index is the backbone of stretch computation: the stretch of an off-tree
+/// edge `(u, v)` needs the tree-path resistance `R(u) + R(v) − 2 R(lca)`.
+///
+/// # Example
+///
+/// ```
+/// use sass_graph::{Graph, RootedTree, LcaIndex};
+///
+/// # fn main() -> Result<(), sass_graph::GraphError> {
+/// // Star 0-{1,2,3}: ids 0,1,2.
+/// let g = Graph::from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)])?;
+/// let t = RootedTree::new(&g, vec![0, 1, 2], 0)?;
+/// let lca = LcaIndex::new(&t);
+/// assert_eq!(lca.lca(1, 2), 0);
+/// assert_eq!(lca.lca(2, 2), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LcaIndex {
+    /// Euler tour of vertices (length `2n − 1`).
+    tour: Vec<u32>,
+    /// Depth of the vertex at each tour position.
+    tour_depth: Vec<u32>,
+    /// First tour position of each vertex.
+    first: Vec<u32>,
+    /// `table[k]` holds, for each i, the tour position with minimum depth in
+    /// the window `[i, i + 2^k)`.
+    table: Vec<Vec<u32>>,
+}
+
+impl LcaIndex {
+    /// Builds the index for a rooted tree.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.n();
+        if n == 0 {
+            return LcaIndex { tour: vec![], tour_depth: vec![], first: vec![], table: vec![] };
+        }
+        // Children lists from parent pointers, in BFS order so the iterative
+        // DFS below is deterministic.
+        let mut child_count = vec![0usize; n];
+        for v in 0..n {
+            if let Some(p) = tree.parent(v) {
+                child_count[p] += 1;
+            }
+        }
+        let mut child_ptr = vec![0usize; n + 1];
+        for v in 0..n {
+            child_ptr[v + 1] = child_ptr[v] + child_count[v];
+        }
+        let mut children = vec![0u32; n - 1];
+        let mut next = child_ptr.clone();
+        for &v in tree.bfs_order() {
+            if let Some(p) = tree.parent(v as usize) {
+                children[next[p]] = v;
+                next[p] += 1;
+            }
+        }
+
+        let mut tour = Vec::with_capacity(2 * n - 1);
+        let mut tour_depth = Vec::with_capacity(2 * n - 1);
+        let mut first = vec![u32::MAX; n];
+        // Iterative Euler tour: stack of (vertex, next-child cursor).
+        let mut stack: Vec<(u32, usize)> = vec![(tree.root() as u32, 0)];
+        while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+            let vu = v as usize;
+            if first[vu] == u32::MAX {
+                first[vu] = tour.len() as u32;
+            }
+            tour.push(v);
+            tour_depth.push(tree.depth(vu));
+            let c_lo = child_ptr[vu];
+            let c_hi = child_ptr[vu + 1];
+            if c_lo + *cursor < c_hi {
+                let child = children[c_lo + *cursor];
+                *cursor += 1;
+                stack.push((child, 0));
+            } else {
+                // All children done: pop. The parent (new stack top) gets
+                // re-recorded by the next loop iteration, which is exactly
+                // the Euler-tour revisit.
+                stack.pop();
+            }
+        }
+
+        let len = tour.len();
+        let levels = (usize::BITS - len.leading_zeros()) as usize; // floor(log2(len)) + 1
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..len as u32).collect());
+        let mut k = 1;
+        while (1 << k) <= len {
+            let half = 1 << (k - 1);
+            let prev = &table[k - 1];
+            let mut row = Vec::with_capacity(len - (1 << k) + 1);
+            for i in 0..=(len - (1 << k)) {
+                let a = prev[i];
+                let b = prev[i + half];
+                row.push(if tour_depth[a as usize] <= tour_depth[b as usize] { a } else { b });
+            }
+            table.push(row);
+            k += 1;
+        }
+        LcaIndex { tour, tour_depth, first, table }
+    }
+
+    /// The lowest common ancestor of `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of bounds.
+    pub fn lca(&self, u: usize, v: usize) -> usize {
+        let (mut a, mut b) = (self.first[u] as usize, self.first[v] as usize);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let len = b - a + 1;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize; // floor(log2(len))
+        let x = self.table[k][a];
+        let y = self.table[k][b + 1 - (1 << k)];
+        let pos = if self.tour_depth[x as usize] <= self.tour_depth[y as usize] { x } else { y };
+        self.tour[pos as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Graph, RootedTree};
+
+    /// Brute-force LCA by walking parents.
+    fn lca_naive(t: &RootedTree, mut u: usize, mut v: usize) -> usize {
+        while t.depth(u) > t.depth(v) {
+            u = t.parent(u).unwrap();
+        }
+        while t.depth(v) > t.depth(u) {
+            v = t.parent(v).unwrap();
+        }
+        while u != v {
+            u = t.parent(u).unwrap();
+            v = t.parent(v).unwrap();
+        }
+        u
+    }
+
+    fn balanced_binary_tree(depth: u32) -> (Graph, RootedTree) {
+        let n = (1usize << (depth + 1)) - 1;
+        let mut edges = Vec::new();
+        for v in 1..n {
+            edges.push((v, (v - 1) / 2, 1.0));
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let ids: Vec<u32> = (0..g.m() as u32).collect();
+        let t = RootedTree::new(&g, ids, 0).unwrap();
+        (g, t)
+    }
+
+    #[test]
+    fn matches_naive_on_binary_tree() {
+        let (_, t) = balanced_binary_tree(4);
+        let idx = LcaIndex::new(&t);
+        let n = t.n();
+        for u in (0..n).step_by(3) {
+            for v in (0..n).step_by(5) {
+                assert_eq!(idx.lca(u, v), lca_naive(&t, u, v), "lca({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_path() {
+        let n = 33;
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let t = RootedTree::new(&g, (0..g.m() as u32).collect(), 16).unwrap();
+        let idx = LcaIndex::new(&t);
+        for u in 0..n {
+            for v in (0..n).step_by(7) {
+                assert_eq!(idx.lca(u, v), lca_naive(&t, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_of_vertex_with_itself() {
+        let (_, t) = balanced_binary_tree(3);
+        let idx = LcaIndex::new(&t);
+        for v in 0..t.n() {
+            assert_eq!(idx.lca(v, v), v);
+        }
+    }
+
+    #[test]
+    fn lca_with_ancestor_is_ancestor() {
+        let (_, t) = balanced_binary_tree(3);
+        let idx = LcaIndex::new(&t);
+        assert_eq!(idx.lca(0, 9), 0);
+        let p = t.parent(9).unwrap();
+        assert_eq!(idx.lca(p, 9), p);
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let t = RootedTree::new(&g, vec![], 0).unwrap();
+        let idx = LcaIndex::new(&t);
+        assert_eq!(idx.lca(0, 0), 0);
+    }
+}

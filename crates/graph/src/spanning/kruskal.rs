@@ -1,0 +1,130 @@
+use super::count_components;
+use crate::{Graph, GraphError, Result, UnionFind};
+
+/// Kruskal spanning tree taking edges in the given weight order.
+fn kruskal(g: &Graph, descending: bool) -> Result<Vec<u32>> {
+    if g.n() == 0 {
+        return Ok(Vec::new());
+    }
+    let mut ids: Vec<u32> = (0..g.m() as u32).collect();
+    if descending {
+        ids.sort_unstable_by(|&a, &b| {
+            g.edge(b as usize)
+                .weight
+                .partial_cmp(&g.edge(a as usize).weight)
+                .expect("edge weights are finite")
+        });
+    } else {
+        ids.sort_unstable_by(|&a, &b| {
+            g.edge(a as usize)
+                .weight
+                .partial_cmp(&g.edge(b as usize).weight)
+                .expect("edge weights are finite")
+        });
+    }
+    let mut uf = UnionFind::new(g.n());
+    let mut tree = Vec::with_capacity(g.n() - 1);
+    for id in ids {
+        let e = g.edge(id as usize);
+        if uf.union(e.u as usize, e.v as usize) {
+            tree.push(id);
+            if tree.len() == g.n() - 1 {
+                break;
+            }
+        }
+    }
+    if tree.len() != g.n() - 1 {
+        return Err(GraphError::Disconnected { components: count_components(g) });
+    }
+    tree.sort_unstable();
+    Ok(tree)
+}
+
+/// Maximum-weight spanning tree (Kruskal, descending weights).
+///
+/// Heavy edges are the spectrally critical ones for Laplacian pencils, so
+/// this is the practical "spectrally critical tree" backbone used by the
+/// GRASS family of sparsifiers.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Disconnected`] if `g` has no spanning tree.
+///
+/// # Example
+///
+/// ```
+/// use sass_graph::{Graph, spanning};
+///
+/// # fn main() -> Result<(), sass_graph::GraphError> {
+/// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 5.0), (0, 2, 5.0)])?;
+/// let tree = spanning::max_weight_spanning_tree(&g)?;
+/// // The weight-1 edge is excluded.
+/// assert!(!tree.contains(&g.find_edge(0, 1).unwrap()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn max_weight_spanning_tree(g: &Graph) -> Result<Vec<u32>> {
+    kruskal(g, true)
+}
+
+/// Minimum-weight spanning tree (Kruskal, ascending weights).
+///
+/// Provided for ablations; a *bad* backbone for spectral sparsification.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Disconnected`] if `g` has no spanning tree.
+pub fn min_weight_spanning_tree(g: &Graph) -> Result<Vec<u32>> {
+    kruskal(g, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_tree_prefers_heavy_edges() {
+        // Triangle with one light edge: max tree keeps the two heavy ones.
+        let g = Graph::from_edges(3, &[(0, 1, 0.1), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        let t = max_weight_spanning_tree(&g).unwrap();
+        let light = g.find_edge(0, 1).unwrap();
+        assert!(!t.contains(&light));
+        let tmin = min_weight_spanning_tree(&g).unwrap();
+        assert!(tmin.contains(&light));
+    }
+
+    #[test]
+    fn tree_weight_is_maximal() {
+        // Brute-force check on a small graph: compare against all spanning
+        // trees enumerated by edge subsets.
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1, 4.0), (1, 2, 3.0), (2, 3, 2.0), (3, 0, 1.0), (0, 2, 5.0), (1, 3, 0.5)],
+        )
+        .unwrap();
+        let best = max_weight_spanning_tree(&g).unwrap();
+        let best_w: f64 = best.iter().map(|&id| g.edge(id as usize).weight).sum();
+        let m = g.m();
+        let mut brute_best = f64::NEG_INFINITY;
+        for mask in 0u32..(1 << m) {
+            if mask.count_ones() as usize != g.n() - 1 {
+                continue;
+            }
+            let ids: Vec<u32> = (0..m as u32).filter(|&i| mask & (1 << i) != 0).collect();
+            let mut uf = UnionFind::new(g.n());
+            let mut ok = true;
+            for &id in &ids {
+                let e = g.edge(id as usize);
+                if !uf.union(e.u as usize, e.v as usize) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && uf.components() == 1 {
+                let w: f64 = ids.iter().map(|&id| g.edge(id as usize).weight).sum();
+                brute_best = brute_best.max(w);
+            }
+        }
+        assert!((best_w - brute_best).abs() < 1e-12);
+    }
+}

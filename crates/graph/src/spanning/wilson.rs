@@ -1,0 +1,156 @@
+use super::count_components;
+use crate::{Graph, GraphError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Wilson's algorithm: an exact weighted-uniform random spanning tree via
+/// loop-erased random walks.
+///
+/// Each walk step moves to a neighbor with probability proportional to the
+/// edge weight, so the returned tree is distributed as a weighted uniform
+/// spanning tree (probability ∝ product of its edge weights). Deterministic
+/// for a fixed `seed`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Disconnected`] if the graph is not connected.
+///
+/// # Example
+///
+/// ```
+/// use sass_graph::{Graph, spanning};
+///
+/// # fn main() -> Result<(), sass_graph::GraphError> {
+/// let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])?;
+/// let tree = spanning::random_spanning_tree(&g, 7)?;
+/// assert_eq!(tree.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_spanning_tree(g: &Graph, seed: u64) -> Result<Vec<u32>> {
+    let n = g.n();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if !crate::traverse::is_connected(g) {
+        return Err(GraphError::Disconnected { components: count_components(g) });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Per-vertex cumulative weights for O(log deg) neighbor sampling.
+    let cum: Vec<Vec<f64>> = (0..n)
+        .map(|v| {
+            let mut acc = 0.0;
+            g.neighbors(v)
+                .map(|(_, _, w)| {
+                    acc += w;
+                    acc
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut in_tree = vec![false; n];
+    // next[v] = successor of v on the current walk (edge id recorded too).
+    let mut next: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); n];
+    let root = 0usize;
+    in_tree[root] = true;
+    let mut tree = Vec::with_capacity(n - 1);
+
+    for start in 0..n {
+        if in_tree[start] {
+            continue;
+        }
+        // Random walk until hitting the tree, remembering only the last
+        // exit from each vertex (implicit loop erasure).
+        let mut u = start;
+        while !in_tree[u] {
+            let c = &cum[u];
+            let total = *c.last().expect("connected graph has no isolated vertex");
+            let x = rng.gen_range(0.0..total);
+            let k = c.partition_point(|&acc| acc <= x);
+            let (nbr, id, _) = g
+                .neighbors(u)
+                .nth(k)
+                .expect("sampled neighbor index in range");
+            next[u] = (nbr, id);
+            u = nbr as usize;
+        }
+        // Retrace the loop-erased path and attach it to the tree.
+        let mut v = start;
+        while !in_tree[v] {
+            in_tree[v] = true;
+            let (succ, id) = next[v];
+            tree.push(id);
+            v = succ as usize;
+        }
+    }
+    tree.sort_unstable();
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RootedTree;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0), (5, 0, 1.0), (0, 3, 1.0)],
+        )
+        .unwrap();
+        let a = random_spanning_tree(&g, 99).unwrap();
+        let b = random_spanning_tree(&g, 99).unwrap();
+        assert_eq!(a, b);
+        RootedTree::new(&g, a, 0).unwrap();
+    }
+
+    #[test]
+    fn different_seeds_explore_different_trees() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+            .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..32 {
+            seen.insert(random_spanning_tree(&g, seed).unwrap());
+        }
+        // The 4-cycle has exactly 4 spanning trees; a uniform sampler should
+        // find more than one across 32 seeds.
+        assert!(seen.len() > 1);
+    }
+
+    #[test]
+    fn distribution_roughly_uniform_on_unit_cycle() {
+        // All 4 spanning trees of the unit 4-cycle are equally likely.
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+            .unwrap();
+        let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
+        let trials = 2000;
+        for seed in 0..trials {
+            *counts.entry(random_spanning_tree(&g, seed).unwrap()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for &c in counts.values() {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.25).abs() < 0.05, "tree probability {p} far from 0.25");
+        }
+    }
+
+    #[test]
+    fn heavy_edges_are_favored() {
+        // Triangle with one heavy edge: trees containing it appear more often.
+        let g = Graph::from_edges(3, &[(0, 1, 10.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        let heavy = g.find_edge(0, 1).unwrap();
+        let mut with_heavy = 0;
+        let trials = 500;
+        for seed in 0..trials {
+            if random_spanning_tree(&g, seed).unwrap().contains(&heavy) {
+                with_heavy += 1;
+            }
+        }
+        // Weighted UST theory: P(tree ∋ heavy) = (10+10)/(10+10+1) ≈ 0.95.
+        assert!(with_heavy as f64 / trials as f64 > 0.85);
+    }
+}

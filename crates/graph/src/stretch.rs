@@ -1,0 +1,152 @@
+//! Edge stretch with respect to a spanning tree.
+//!
+//! The *stretch* of edge `e = (u, v)` with weight `w` over spanning tree `T`
+//! is `st_T(e) = w · R_T(u, v)`, where `R_T` is the effective resistance of
+//! the tree path between the endpoints (`Σ 1/w` along the path). Tree edges
+//! have stretch exactly 1; the **total stretch** `st_T(G) = Σ_e st_T(e)`
+//! equals `Trace(L_T⁺ L_G)` — the sum of all generalized eigenvalues of the
+//! pencil `(L_G, L_T)` — which is the quantity low-stretch spanning tree
+//! constructions minimize (paper Eq. 4).
+
+use crate::{Graph, LcaIndex, Result, RootedTree};
+
+/// Summary statistics of edge stretch over a spanning tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StretchStats {
+    /// Total stretch `Σ_e st_T(e)` over **all** edges (tree edges included,
+    /// each contributing exactly 1).
+    pub total: f64,
+    /// Largest single-edge stretch.
+    pub max: f64,
+    /// Mean stretch over all edges.
+    pub mean: f64,
+    /// Number of off-tree edges.
+    pub off_tree_edges: usize,
+}
+
+/// Computes the stretch of a single edge (by host-graph id).
+///
+/// # Panics
+///
+/// Panics if `edge_id` is out of bounds.
+pub fn edge_stretch(g: &Graph, tree: &RootedTree, lca: &LcaIndex, edge_id: u32) -> f64 {
+    let e = g.edge(edge_id as usize);
+    let l = lca.lca(e.u as usize, e.v as usize);
+    e.weight * tree.path_resistance_via(e.u as usize, e.v as usize, l)
+}
+
+/// Computes the stretch of every edge of `g` over the tree.
+///
+/// The returned vector is indexed by edge id. Tree edges come out as
+/// exactly 1 up to floating-point roundoff.
+///
+/// # Example
+///
+/// ```
+/// use sass_graph::{stretch, Graph, LcaIndex, RootedTree};
+///
+/// # fn main() -> Result<(), sass_graph::GraphError> {
+/// // Unit square: tree = 3 path edges, one closing edge of stretch 3.
+/// let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])?;
+/// let tree = RootedTree::new(&g, vec![0, 2, 3], 0)?;
+/// let lca = LcaIndex::new(&tree);
+/// let st = stretch::all_stretches(&g, &tree, &lca);
+/// assert!((st.iter().sum::<f64>() - 6.0).abs() < 1e-12); // 1 + 1 + 1 + 3
+/// # Ok(())
+/// # }
+/// ```
+pub fn all_stretches(g: &Graph, tree: &RootedTree, lca: &LcaIndex) -> Vec<f64> {
+    (0..g.m() as u32).map(|id| edge_stretch(g, tree, lca, id)).collect()
+}
+
+/// Computes [`StretchStats`] for the tree, building a temporary LCA index.
+///
+/// # Errors
+///
+/// Propagates tree-construction errors when the tree's edge set is invalid
+/// for `g` (cannot happen for trees built from `g` itself).
+pub fn stretch_stats(g: &Graph, tree: &RootedTree) -> Result<StretchStats> {
+    let lca = LcaIndex::new(tree);
+    let stretches = all_stretches(g, tree, &lca);
+    let total: f64 = stretches.iter().sum();
+    let max = stretches.iter().copied().fold(0.0, f64::max);
+    let mean = if stretches.is_empty() { 0.0 } else { total / stretches.len() as f64 };
+    Ok(StretchStats { total, max, mean, off_tree_edges: g.m() + 1 - g.n() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spanning;
+
+    #[test]
+    fn tree_edges_have_unit_stretch() {
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1, 2.0), (1, 2, 0.5), (2, 3, 4.0), (3, 4, 1.0), (0, 4, 1.0), (1, 3, 3.0)],
+        )
+        .unwrap();
+        let tree = spanning::max_weight_spanning_tree(&g).unwrap();
+        let rooted = RootedTree::new(&g, tree, 0).unwrap();
+        let lca = LcaIndex::new(&rooted);
+        for &id in rooted.edge_ids() {
+            let s = edge_stretch(&g, &rooted, &lca, id);
+            assert!((s - 1.0).abs() < 1e-12, "tree edge stretch {s} != 1");
+        }
+    }
+
+    #[test]
+    fn cycle_edge_stretch_is_cycle_resistance_ratio() {
+        // Unit 4-cycle with tree = path 0-1-2-3: the closing edge (0,3) has
+        // stretch 1.0 * (1+1+1) = 3.
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])
+            .unwrap();
+        let ids: Vec<u32> = (0..3)
+            .map(|i| {
+                let e = g.edges().iter().position(|e| {
+                    (e.u as usize, e.v as usize) == (i, i + 1)
+                });
+                e.unwrap() as u32
+            })
+            .collect();
+        let rooted = RootedTree::new(&g, ids, 0).unwrap();
+        let lca = LcaIndex::new(&rooted);
+        let off = rooted.off_tree_edges(&g);
+        assert_eq!(off.len(), 1);
+        let s = edge_stretch(&g, &rooted, &lca, off[0]);
+        assert!((s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_stretch_matches_manual_sum() {
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 2.0), (0, 2, 0.25)],
+        )
+        .unwrap();
+        // Tree = path edges: ids of (0,1), (1,2), (2,3).
+        let mut tree_ids = Vec::new();
+        for (u, v) in [(0, 1), (1, 2), (2, 3)] {
+            tree_ids.push(g.find_edge(u, v).unwrap());
+        }
+        let rooted = RootedTree::new(&g, tree_ids, 0).unwrap();
+        let stats = stretch_stats(&g, &rooted).unwrap();
+        // Off-tree: (0,3) stretch 2*(3) = 6; (0,2) stretch 0.25*2 = 0.5.
+        let expected_total = 3.0 + 6.0 + 0.5;
+        assert!((stats.total - expected_total).abs() < 1e-12);
+        assert!((stats.max - 6.0).abs() < 1e-12);
+        assert_eq!(stats.off_tree_edges, 2);
+    }
+
+    #[test]
+    fn weighted_stretch_uses_resistances() {
+        // Heavy off-tree edge across a light tree path has large stretch.
+        let g = Graph::from_edges(3, &[(0, 1, 0.1), (1, 2, 0.1), (0, 2, 10.0)]).unwrap();
+        let tree_ids = vec![g.find_edge(0, 1).unwrap(), g.find_edge(1, 2).unwrap()];
+        let rooted = RootedTree::new(&g, tree_ids, 0).unwrap();
+        let lca = LcaIndex::new(&rooted);
+        let off = g.find_edge(0, 2).unwrap();
+        let s = edge_stretch(&g, &rooted, &lca, off);
+        assert!((s - 10.0 * 20.0).abs() < 1e-9);
+    }
+}

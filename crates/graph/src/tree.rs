@@ -1,0 +1,269 @@
+use crate::{Graph, GraphError, Result};
+
+/// A spanning tree of a host [`Graph`], rooted and preprocessed for
+/// path queries.
+///
+/// Stores parent pointers, depths, BFS order and — crucial for stretch and
+/// Joule-heat analysis — the *resistance to root* of every vertex
+/// (`Σ 1/w` along the tree path), so that together with an
+/// [`LcaIndex`](crate::LcaIndex) the effective resistance of any tree path
+/// is an O(1) query.
+///
+/// # Example
+///
+/// ```
+/// use sass_graph::{Graph, RootedTree};
+///
+/// # fn main() -> Result<(), sass_graph::GraphError> {
+/// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])?;
+/// // Canonical edge ids: (0,1) = 0, (0,2) = 1, (1,2) = 2.
+/// // Edges {(0,1), (1,2)} form the path spanning tree 0-1-2.
+/// let tree = RootedTree::new(&g, vec![0, 2], 0)?;
+/// assert_eq!(tree.depth(2), 2);
+/// assert!((tree.resistance_to_root(2) - 1.5).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    root: usize,
+    n: usize,
+    parent: Vec<u32>,
+    parent_edge: Vec<u32>,
+    depth: Vec<u32>,
+    rdist: Vec<f64>,
+    bfs_order: Vec<u32>,
+    edge_ids: Vec<u32>,
+}
+
+impl RootedTree {
+    /// Roots the spanning tree given by `edge_ids` at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotSpanningTree`] if the edge set does not have
+    /// exactly `n − 1` edges reaching every vertex, and
+    /// [`GraphError::VertexOutOfBounds`] for an invalid root.
+    pub fn new(g: &Graph, mut edge_ids: Vec<u32>, root: usize) -> Result<Self> {
+        let n = g.n();
+        if root >= n {
+            return Err(GraphError::VertexOutOfBounds { vertex: root, n });
+        }
+        edge_ids.sort_unstable();
+        edge_ids.dedup();
+        if edge_ids.len() + 1 != n {
+            return Err(GraphError::NotSpanningTree {
+                context: format!("{} edges for {} vertices", edge_ids.len(), n),
+            });
+        }
+        // Tree adjacency.
+        let mut deg = vec![0usize; n + 1];
+        for &id in &edge_ids {
+            let e = g.edge(id as usize);
+            deg[e.u as usize + 1] += 1;
+            deg[e.v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let xadj = deg.clone();
+        let mut adj = vec![(0u32, 0u32); 2 * edge_ids.len()];
+        let mut next = deg;
+        for &id in &edge_ids {
+            let e = g.edge(id as usize);
+            adj[next[e.u as usize]] = (e.v, id);
+            next[e.u as usize] += 1;
+            adj[next[e.v as usize]] = (e.u, id);
+            next[e.v as usize] += 1;
+        }
+
+        let mut parent = vec![u32::MAX; n];
+        let mut parent_edge = vec![u32::MAX; n];
+        let mut depth = vec![0u32; n];
+        let mut rdist = vec![0.0f64; n];
+        let mut bfs_order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        bfs_order.push(root as u32);
+        visited[root] = true;
+        let mut head = 0;
+        while head < bfs_order.len() {
+            let u = bfs_order[head] as usize;
+            head += 1;
+            for &(nbr, id) in &adj[xadj[u]..xadj[u + 1]] {
+                let v = nbr as usize;
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = u as u32;
+                    parent_edge[v] = id;
+                    depth[v] = depth[u] + 1;
+                    rdist[v] = rdist[u] + 1.0 / g.edge(id as usize).weight;
+                    bfs_order.push(v as u32);
+                }
+            }
+        }
+        if bfs_order.len() != n {
+            return Err(GraphError::NotSpanningTree {
+                context: format!("only {} of {} vertices reachable", bfs_order.len(), n),
+            });
+        }
+        Ok(RootedTree { root, n, parent, parent_edge, depth, rdist, bfs_order, edge_ids })
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()`.
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        let p = self.parent[v];
+        (p != u32::MAX).then_some(p as usize)
+    }
+
+    /// Host-graph id of the edge joining `v` to its parent, or `None` for
+    /// the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()`.
+    pub fn parent_edge(&self, v: usize) -> Option<u32> {
+        let e = self.parent_edge[v];
+        (e != u32::MAX).then_some(e)
+    }
+
+    /// Hop depth of `v` (root has depth 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()`.
+    pub fn depth(&self, v: usize) -> u32 {
+        self.depth[v]
+    }
+
+    /// Effective resistance (`Σ 1/w`) of the tree path from `v` to the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()`.
+    pub fn resistance_to_root(&self, v: usize) -> f64 {
+        self.rdist[v]
+    }
+
+    /// Vertices in BFS order from the root (root first). Parents always
+    /// precede their children, making this a valid topological order for
+    /// up-the-tree eliminations.
+    pub fn bfs_order(&self) -> &[u32] {
+        &self.bfs_order
+    }
+
+    /// Sorted host-graph ids of the tree edges.
+    pub fn edge_ids(&self) -> &[u32] {
+        &self.edge_ids
+    }
+
+    /// Boolean mask over host-graph edges: `true` for tree edges.
+    pub fn edge_mask(&self, m: usize) -> Vec<bool> {
+        let mut mask = vec![false; m];
+        for &id in &self.edge_ids {
+            mask[id as usize] = true;
+        }
+        mask
+    }
+
+    /// Host-graph ids of the edges *not* in the tree.
+    pub fn off_tree_edges(&self, g: &Graph) -> Vec<u32> {
+        let mask = self.edge_mask(g.m());
+        (0..g.m() as u32).filter(|&id| !mask[id as usize]).collect()
+    }
+
+    /// Resistance of the tree path between `u` and `v`, given their lowest
+    /// common ancestor `l` (see [`LcaIndex`](crate::LcaIndex)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn path_resistance_via(&self, u: usize, v: usize, l: usize) -> f64 {
+        self.rdist[u] + self.rdist[v] - 2.0 * self.rdist[l]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonal() -> Graph {
+        // 0-1, 1-2, 2-3, 3-0, 0-2; edge ids follow sorted (u,v) order:
+        // (0,1)=0, (0,2)=1, (0,3)=2, (1,2)=3, (2,3)=4.
+        Graph::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 2.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roots_and_measures_path_tree() {
+        let g = square_with_diagonal();
+        // Tree: (0,1), (1,2), (2,3) = ids 0, 3, 4.
+        let t = RootedTree::new(&g, vec![0, 3, 4], 0).unwrap();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.depth(3), 3);
+        assert_eq!(t.parent(3), Some(2));
+        assert_eq!(t.parent(0), None);
+        assert!((t.resistance_to_root(3) - 3.0).abs() < 1e-15);
+        assert_eq!(t.off_tree_edges(&g), vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_wrong_edge_count() {
+        let g = square_with_diagonal();
+        assert!(matches!(
+            RootedTree::new(&g, vec![0, 3], 0),
+            Err(GraphError::NotSpanningTree { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_spanning_set() {
+        let g = square_with_diagonal();
+        // Edges (0,1), (0,2), (1,2) form a cycle missing vertex 3.
+        assert!(matches!(
+            RootedTree::new(&g, vec![0, 1, 3], 0),
+            Err(GraphError::NotSpanningTree { .. })
+        ));
+    }
+
+    #[test]
+    fn bfs_order_parents_first() {
+        let g = square_with_diagonal();
+        let t = RootedTree::new(&g, vec![0, 3, 4], 1).unwrap();
+        let order = t.bfs_order();
+        let mut pos = [0usize; 4];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for v in 0..4 {
+            if let Some(p) = t.parent(v) {
+                assert!(pos[p] < pos[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn path_resistance_via_lca_node() {
+        let g = square_with_diagonal();
+        // Star-ish tree rooted at 0: (0,1), (0,2), (0,3) = ids 0, 1, 2.
+        let t = RootedTree::new(&g, vec![0, 1, 2], 0).unwrap();
+        // Path 1 -> 0 -> 2, LCA = 0: resistance 1/1 + 1/2.
+        assert!((t.path_resistance_via(1, 2, 0) - 1.5).abs() < 1e-15);
+    }
+}

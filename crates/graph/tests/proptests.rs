@@ -1,0 +1,158 @@
+//! Property-based tests for the graph substrate: generator validity across
+//! parameter ranges and spanning-tree correctness on random graphs.
+
+use proptest::prelude::*;
+use sass_graph::generators::{
+    barabasi_albert, circuit_grid, fem_mesh2d, grid2d, knn_graph, watts_strogatz, WeightModel,
+};
+use sass_graph::spanning::{self, AkpwParams, TreeKind};
+use sass_graph::traverse::is_connected;
+use sass_graph::{Graph, GraphBuilder, LcaIndex, RootedTree};
+
+fn random_connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0usize..n, 0usize..n, 0.01f64..100.0), 0..3 * n);
+        (Just(n), extra).prop_map(|(n, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for v in 1..n {
+                b.add_edge(v, (v * 13 + 5) % v.max(1), 0.5 + v as f64 * 0.1);
+            }
+            for (u, v, w) in extra {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn grid_generators_always_connected(
+        nx in 1usize..12, ny in 1usize..12, seed in 0u64..100
+    ) {
+        let g = grid2d(nx, ny, WeightModel::LogUniform { lo: 0.1, hi: 10.0 }, seed);
+        prop_assert_eq!(g.n(), nx * ny);
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.edges().iter().all(|e| e.weight > 0.0));
+    }
+
+    #[test]
+    fn circuit_generator_valid(nx in 2usize..14, via in 0.0f64..0.5, seed in 0u64..50) {
+        let g = circuit_grid(nx, nx, via, seed);
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.edges().iter().all(|e| e.weight > 0.0 && e.weight.is_finite()));
+    }
+
+    #[test]
+    fn mesh_generator_valid(nx in 2usize..12, ny in 2usize..12, seed in 0u64..50) {
+        let g = fem_mesh2d(nx, ny, seed);
+        prop_assert!(is_connected(&g));
+        // Triangulated grid: edges between grid + one diagonal per cell.
+        let expected = (nx - 1) * ny + nx * (ny - 1) + (nx - 1) * (ny - 1);
+        prop_assert_eq!(g.m(), expected);
+    }
+
+    #[test]
+    fn ba_generator_valid(n in 5usize..200, m_attach in 1usize..4, seed in 0u64..50) {
+        prop_assume!(n > m_attach);
+        let g = barabasi_albert(n, m_attach, seed);
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(g.n(), n);
+    }
+
+    #[test]
+    fn ws_generator_valid(n in 6usize..100, beta in 0.0f64..1.0, seed in 0u64..50) {
+        let g = watts_strogatz(n, 4, beta, seed);
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(g.n(), n);
+    }
+
+    #[test]
+    fn knn_generator_valid(n in 5usize..120, k in 1usize..6, seed in 0u64..20) {
+        prop_assume!(k < n);
+        let pts = sass_graph::generators::gaussian_mixture_points(n, 3, 3, 0.3, seed);
+        let g = knn_graph(&pts, k);
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(g.n(), n);
+    }
+
+    #[test]
+    fn every_tree_kind_spans_random_graphs(g in random_connected_graph(), seed in 0u64..50) {
+        for kind in [
+            TreeKind::MaxWeight,
+            TreeKind::Akpw,
+            TreeKind::Bfs,
+            TreeKind::Random(seed),
+        ] {
+            let ids = spanning::spanning_tree(&g, kind).unwrap();
+            prop_assert_eq!(ids.len(), g.n() - 1, "{:?}", kind);
+            // RootedTree::new validates spanning-ness and connectivity.
+            let tree = RootedTree::new(&g, ids, 0).unwrap();
+            prop_assert_eq!(tree.n(), g.n());
+        }
+    }
+
+    #[test]
+    fn akpw_respects_params(g in random_connected_graph(),
+                            rho in 1.5f64..10.0, radius in 1usize..4) {
+        let params = AkpwParams { class_growth: rho, ball_radius: radius, seed: 1 };
+        let ids = spanning::akpw_spanning_tree(&g, &params).unwrap();
+        RootedTree::new(&g, ids, 0).unwrap();
+    }
+
+    #[test]
+    fn stretch_invariants_on_random_graphs(g in random_connected_graph()) {
+        // Tree edges have stretch exactly 1; all stretches are positive and
+        // finite; under the max-weight tree, every off-tree edge is no
+        // heavier than the *bottleneck* (lightest edge) of its tree path —
+        // the classic cycle property.
+        let ids = spanning::max_weight_spanning_tree(&g).unwrap();
+        let tree = RootedTree::new(&g, ids.clone(), 0).unwrap();
+        let lca = LcaIndex::new(&tree);
+        let stretches = sass_graph::stretch::all_stretches(&g, &tree, &lca);
+        for &id in &ids {
+            prop_assert!((stretches[id as usize] - 1.0).abs() < 1e-9);
+        }
+        for s in &stretches {
+            prop_assert!(*s > 0.0 && s.is_finite());
+        }
+        // Cycle property via bottleneck: walk each off-tree edge's path.
+        let in_tree = tree.edge_mask(g.m());
+        for (eid, e) in g.edges().iter().enumerate() {
+            if in_tree[eid] {
+                continue;
+            }
+            let l = lca.lca(e.u as usize, e.v as usize);
+            let mut bottleneck = f64::INFINITY;
+            for mut x in [e.u as usize, e.v as usize] {
+                while x != l {
+                    let pe = tree.parent_edge(x).unwrap();
+                    bottleneck = bottleneck.min(g.edge(pe as usize).weight);
+                    x = tree.parent(x).unwrap();
+                }
+            }
+            prop_assert!(e.weight <= bottleneck + 1e-12,
+                         "off-tree edge ({}, {}) weight {} above bottleneck {}",
+                         e.u, e.v, e.weight, bottleneck);
+        }
+    }
+
+    #[test]
+    fn euler_tour_resistances_match_direct_walk(g in random_connected_graph()) {
+        let ids = spanning::bfs_spanning_tree(&g, 0).unwrap();
+        let tree = RootedTree::new(&g, ids, 0).unwrap();
+        let lca = LcaIndex::new(&tree);
+        // For every vertex: resistance to root via path_resistance_via must
+        // match resistance_to_root.
+        for v in 0..g.n() {
+            let l = lca.lca(v, tree.root());
+            prop_assert_eq!(l, tree.root());
+            let r = tree.path_resistance_via(v, tree.root(), l);
+            prop_assert!((r - tree.resistance_to_root(v)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Spectral graph drawing (paper Fig. 1).
+//!
+//! Plotting each vertex at the coordinates given by the first two
+//! nontrivial Laplacian eigenvectors (Koren's spectral drawing) reveals a
+//! graph's global geometry. The paper's Fig. 1 shows an airfoil mesh and
+//! its sparsifier drawn this way — nearly indistinguishable, because the
+//! sparsifier preserves exactly those low eigenvectors.
+
+use crate::Result;
+use sass_eigen::lanczos::{lanczos_smallest_laplacian, LanczosOptions};
+use sass_sparse::ordering::OrderingKind;
+use sass_sparse::CsrMatrix;
+
+/// Computes spectral coordinates: vertex `v` maps to
+/// `(u₂(v), u₃(v), ...)` for the `dim` smallest nontrivial eigenvectors.
+///
+/// # Errors
+///
+/// Propagates eigensolver failures (e.g. disconnected graphs).
+pub fn spectral_coordinates(l: &CsrMatrix, dim: usize) -> Result<Vec<Vec<f64>>> {
+    let res = lanczos_smallest_laplacian(
+        l,
+        dim,
+        OrderingKind::MinDegree,
+        &LanczosOptions::default(),
+    )?;
+    let n = l.nrows();
+    let mut coords = vec![vec![0.0; dim]; n];
+    for (d, vector) in res.eigenvectors.iter().enumerate() {
+        for (v, &val) in vector.iter().enumerate() {
+            coords[v][d] = val;
+        }
+    }
+    Ok(coords)
+}
+
+/// Pearson correlation between two coordinate columns, maximized over sign —
+/// used to compare the drawing of a graph against its sparsifier's (eigenvectors
+/// are defined up to sign).
+///
+/// # Panics
+///
+/// Panics if lengths differ or a column is constant.
+pub fn drawing_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "column length mismatch");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    assert!(va > 0.0 && vb > 0.0, "constant coordinate column");
+    (cov / (va.sqrt() * vb.sqrt())).abs()
+}
+
+/// Renders 2-D points as an ASCII scatter plot (row-major string), for
+/// terminal-friendly reproduction of the paper's figures.
+///
+/// # Panics
+///
+/// Panics if a point is not 2-D or `width`/`height` are below 2.
+pub fn ascii_scatter(points: &[Vec<f64>], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "canvas must be at least 2x2");
+    let mut grid = vec![vec![' '; width]; height];
+    if points.is_empty() {
+        return render(&grid);
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        assert_eq!(p.len(), 2, "points must be 2-D");
+        xmin = xmin.min(p[0]);
+        xmax = xmax.max(p[0]);
+        ymin = ymin.min(p[1]);
+        ymax = ymax.max(p[1]);
+    }
+    let dx = (xmax - xmin).max(1e-12);
+    let dy = (ymax - ymin).max(1e-12);
+    for p in points {
+        let col = (((p[0] - xmin) / dx) * (width - 1) as f64).round() as usize;
+        let row = (((p[1] - ymin) / dy) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col] = '*';
+    }
+    render(&grid)
+}
+
+fn render(grid: &[Vec<char>]) -> String {
+    let mut out = String::with_capacity(grid.len() * (grid[0].len() + 1));
+    for row in grid {
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass_core::{sparsify, SparsifyConfig};
+    use sass_graph::generators::airfoil_mesh;
+
+    #[test]
+    fn airfoil_drawing_matches_between_graph_and_sparsifier() {
+        // The heart of the paper's Fig. 1: the sparsifier's spectral drawing
+        // correlates strongly with the original's.
+        let (g, _) = airfoil_mesh(10, 30, 1);
+        let coords_g = spectral_coordinates(&g.laplacian(), 2).unwrap();
+        let sp = sparsify(&g, &SparsifyConfig::new(30.0).with_seed(4)).unwrap();
+        let coords_p = spectral_coordinates(&sp.graph().laplacian(), 2).unwrap();
+        for d in 0..2 {
+            let a: Vec<f64> = coords_g.iter().map(|c| c[d]).collect();
+            let b: Vec<f64> = coords_p.iter().map(|c| c[d]).collect();
+            let corr = drawing_correlation(&a, &b);
+            assert!(corr > 0.9, "dimension {d} correlation {corr}");
+        }
+    }
+
+    #[test]
+    fn coordinates_shape() {
+        let (g, _) = airfoil_mesh(6, 18, 0);
+        let coords = spectral_coordinates(&g.laplacian(), 3).unwrap();
+        assert_eq!(coords.len(), g.n());
+        assert!(coords.iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn scatter_renders_extents() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.5]];
+        let art = ascii_scatter(&pts, 11, 5);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0].chars().count(), 11);
+        assert_eq!(art.matches('*').count(), 3);
+        // Corners are hit.
+        assert_eq!(lines[4].chars().next(), Some('*'));
+        assert_eq!(lines[0].chars().last(), Some('*'));
+    }
+
+    #[test]
+    fn correlation_is_sign_invariant() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((drawing_correlation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+}

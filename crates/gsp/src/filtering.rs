@@ -1,0 +1,109 @@
+//! Low-pass behaviour of spectral sparsifiers, measured per frequency band.
+//!
+//! For each Laplacian eigenvector `u_i` of the original graph `G`, the
+//! sparsifier `P` preserves the quadratic form with relative error
+//! `|u_iᵀ L_P u_i / u_iᵀ L_G u_i − 1|`. The paper's low-pass claim (§3.4)
+//! is that this error is small for low `λ_i` and grows toward the top of
+//! the spectrum. [`band_preservation`] quantifies exactly that.
+
+use crate::Result;
+use sass_eigen::jacobi::{csr_to_dense, dense_symmetric_eig};
+use sass_sparse::CsrMatrix;
+
+/// Quadratic-form preservation per eigenvector of `L_G`.
+#[derive(Debug, Clone)]
+pub struct BandPreservation {
+    /// Eigenvalues of `L_G` (ascending, trivial eigenvalue dropped).
+    pub frequencies: Vec<f64>,
+    /// `u_iᵀ L_P u_i / u_iᵀ L_G u_i` per eigenvector (1.0 = perfect).
+    pub ratios: Vec<f64>,
+}
+
+impl BandPreservation {
+    /// Mean absolute deviation from 1 over the lowest `k` frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn low_band_error(&self, k: usize) -> f64 {
+        assert!(k > 0, "k must be positive");
+        let k = k.min(self.ratios.len());
+        self.ratios[..k].iter().map(|r| (r - 1.0).abs()).sum::<f64>() / k as f64
+    }
+
+    /// Mean absolute deviation from 1 over the highest `k` frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn high_band_error(&self, k: usize) -> f64 {
+        assert!(k > 0, "k must be positive");
+        let k = k.min(self.ratios.len());
+        let start = self.ratios.len() - k;
+        self.ratios[start..].iter().map(|r| (r - 1.0).abs()).sum::<f64>() / k as f64
+    }
+}
+
+/// Computes per-eigenvector quadratic-form preservation of `lp` against
+/// `lg` by dense eigendecomposition — small graphs only (`n ≲ 300`).
+///
+/// # Errors
+///
+/// Propagates dense eigensolver failures (non-symmetric input).
+pub fn band_preservation(lg: &CsrMatrix, lp: &CsrMatrix) -> Result<BandPreservation> {
+    let (vals, vecs) = dense_symmetric_eig(&csr_to_dense(lg))?;
+    let mut frequencies = Vec::with_capacity(vals.len().saturating_sub(1));
+    let mut ratios = Vec::with_capacity(vals.len().saturating_sub(1));
+    for (lam, u) in vals.iter().zip(&vecs) {
+        if *lam < 1e-9 {
+            continue; // trivial (constant) eigenvector
+        }
+        let qg = lg.quad_form(u);
+        let qp = lp.quad_form(u);
+        frequencies.push(*lam);
+        ratios.push(qp / qg);
+    }
+    Ok(BandPreservation { frequencies, ratios })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass_core::{sparsify, SparsifyConfig};
+    use sass_graph::generators::fem_mesh2d;
+
+    #[test]
+    fn sparsifier_is_a_low_pass_filter() {
+        // The paper's §3.4 claim: low-frequency quadratic forms are
+        // preserved better than high-frequency ones.
+        let g = fem_mesh2d(8, 8, 3);
+        let sp = sparsify(&g, &SparsifyConfig::new(50.0).with_seed(2)).unwrap();
+        let bp = band_preservation(&g.laplacian(), &sp.graph().laplacian()).unwrap();
+        let k = bp.ratios.len() / 4;
+        let low = bp.low_band_error(k);
+        let high = bp.high_band_error(k);
+        assert!(
+            low < high,
+            "low-band error {low} should be below high-band error {high}"
+        );
+        // Subgraph quadratic forms never exceed the original.
+        assert!(bp.ratios.iter().all(|&r| r <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn identical_graphs_preserve_everything() {
+        let g = fem_mesh2d(5, 5, 1);
+        let l = g.laplacian();
+        let bp = band_preservation(&l, &l).unwrap();
+        assert!(bp.ratios.iter().all(|&r| (r - 1.0).abs() < 1e-9));
+        assert_eq!(bp.frequencies.len(), g.n() - 1);
+    }
+
+    #[test]
+    fn frequencies_are_ascending() {
+        let g = fem_mesh2d(6, 4, 2);
+        let l = g.laplacian();
+        let bp = band_preservation(&l, &l).unwrap();
+        assert!(bp.frequencies.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// An underlying sparse-matrix operation failed.
+    Sparse(sass_sparse::SparseError),
+    /// An underlying graph operation failed.
+    Graph(sass_graph::GraphError),
+    /// The matrix to ground was not square.
+    ShapeMismatch {
+        /// Human-readable description.
+        context: String,
+    },
+    /// Factorization of the grounded matrix failed — the graph behind the
+    /// Laplacian is most likely disconnected, making the grounded matrix
+    /// singular.
+    GroundedSingular,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Sparse(e) => write!(f, "sparse error: {e}"),
+            SolverError::Graph(e) => write!(f, "graph error: {e}"),
+            SolverError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            SolverError::GroundedSingular => {
+                write!(f, "grounded laplacian is singular (disconnected graph?)")
+            }
+        }
+    }
+}
+
+impl Error for SolverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolverError::Sparse(e) => Some(e),
+            SolverError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sass_sparse::SparseError> for SolverError {
+    fn from(e: sass_sparse::SparseError) -> Self {
+        SolverError::Sparse(e)
+    }
+}
+
+impl From<sass_graph::GraphError> for SolverError {
+    fn from(e: sass_graph::GraphError) -> Self {
+        SolverError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sparse_errors() {
+        let e: SolverError = sass_sparse::SparseError::NotSymmetric.into();
+        assert!(e.to_string().contains("sparse"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolverError>();
+    }
+}

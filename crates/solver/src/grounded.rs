@@ -1,0 +1,241 @@
+use crate::{Result, SolverError};
+use sass_sparse::ordering::OrderingKind;
+use sass_sparse::{dense, CsrMatrix, LdlFactor, SparseError};
+
+/// Exact solver for (connected) graph-Laplacian systems via *grounding*.
+///
+/// A graph Laplacian is singular — its nullspace is the all-ones vector —
+/// but deleting the row and column of one *ground* vertex leaves an SPD
+/// matrix whenever the graph is connected. `GroundedSolver` factorizes that
+/// principal submatrix once (sparse LDLᵀ with a fill-reducing ordering) and
+/// then answers `L x = b` for any right-hand side with `Σb = 0`, returning
+/// the unique solution with zero mean (i.e. `x = L⁺ b`).
+///
+/// Right-hand sides are centered defensively, so passing a `b` with nonzero
+/// mean solves against its projection onto `range(L)`.
+///
+/// # Example
+///
+/// ```
+/// use sass_graph::Graph;
+/// use sass_solver::GroundedSolver;
+///
+/// # fn main() -> Result<(), sass_solver::SolverError> {
+/// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)])?;
+/// let l = g.laplacian();
+/// let solver = GroundedSolver::new(&l, Default::default())?;
+/// let x = solver.solve(&[1.0, 0.0, -1.0]);
+/// assert!(l.residual_norm(&x, &[1.0, 0.0, -1.0]) < 1e-12);
+/// assert!(x.iter().sum::<f64>().abs() < 1e-12); // mean-zero representative
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroundedSolver {
+    n: usize,
+    ground: usize,
+    factor: LdlFactor,
+}
+
+impl GroundedSolver {
+    /// Factorizes the Laplacian `l` grounded at vertex 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::ShapeMismatch`] for a rectangular matrix,
+    /// and [`SolverError::GroundedSingular`] when factorization hits a zero
+    /// pivot — which for a Laplacian means the underlying graph is
+    /// disconnected.
+    pub fn new(l: &CsrMatrix, ordering: OrderingKind) -> Result<Self> {
+        Self::with_ground(l, 0, ordering)
+    }
+
+    /// Factorizes the Laplacian grounded at a chosen vertex.
+    ///
+    /// # Errors
+    ///
+    /// See [`GroundedSolver::new`]; additionally rejects an out-of-range
+    /// ground vertex.
+    pub fn with_ground(l: &CsrMatrix, ground: usize, ordering: OrderingKind) -> Result<Self> {
+        let n = l.nrows();
+        if n != l.ncols() {
+            return Err(SolverError::ShapeMismatch {
+                context: format!("laplacian is {}x{}", n, l.ncols()),
+            });
+        }
+        if ground >= n {
+            return Err(SolverError::ShapeMismatch {
+                context: format!("ground vertex {ground} out of range for n = {n}"),
+            });
+        }
+        let mut keep = vec![true; n];
+        keep[ground] = false;
+        let (reduced, _) = l.principal_submatrix(&keep);
+        let factor = match LdlFactor::new(&reduced, ordering) {
+            Ok(f) => f,
+            Err(SparseError::ZeroPivot { .. }) => return Err(SolverError::GroundedSingular),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(GroundedSolver { n, ground, factor })
+    }
+
+    /// Dimension of the original (ungrounded) system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The grounded vertex.
+    pub fn ground(&self) -> usize {
+        self.ground
+    }
+
+    /// Off-diagonal nonzeros in the factor (memory/fill proxy).
+    pub fn nnz_factor(&self) -> usize {
+        self.factor.nnz_l()
+    }
+
+    /// Approximate memory held by the factorization, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.factor.memory_bytes()
+    }
+
+    /// Solves `L x = center(b)`, returning the mean-zero solution `L⁺ b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves against many right-hand sides, amortizing the factorization —
+    /// the paper's Table 2 motivation ("multiple RHS vectors").
+    ///
+    /// # Panics
+    ///
+    /// Panics if any right-hand side has the wrong length.
+    pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rhs.iter().map(|b| self.solve(b)).collect()
+    }
+
+    /// In-place variant of [`GroundedSolver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n()` or `x.len() != n()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "solve: b length mismatch");
+        assert_eq!(x.len(), self.n, "solve: x length mismatch");
+        let mean = dense::mean(b);
+        // Reduced RHS skips the ground entry.
+        let mut rb = Vec::with_capacity(self.n - 1);
+        for (i, &bi) in b.iter().enumerate() {
+            if i != self.ground {
+                rb.push(bi - mean);
+            }
+        }
+        let rx = self.factor.solve(&rb);
+        let mut k = 0;
+        for (i, xi) in x.iter_mut().enumerate() {
+            if i == self.ground {
+                *xi = 0.0;
+            } else {
+                *xi = rx[k];
+                k += 1;
+            }
+        }
+        dense::center(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass_graph::generators::{grid2d, WeightModel};
+    use sass_graph::Graph;
+
+    #[test]
+    fn exact_on_grid_laplacian() {
+        let g = grid2d(9, 7, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 3);
+        let l = g.laplacian();
+        let s = GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap();
+        let mut b: Vec<f64> = (0..g.n()).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        dense::center(&mut b);
+        let x = s.solve(&b);
+        assert!(l.residual_norm(&x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn solution_is_mean_zero_pseudoinverse() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 0, 1.0)])
+            .unwrap();
+        let l = g.laplacian();
+        let s = GroundedSolver::new(&l, OrderingKind::Natural).unwrap();
+        let b = [1.0, -1.0, 1.0, -1.0];
+        let x = s.solve(&b);
+        assert!(x.iter().sum::<f64>().abs() < 1e-12);
+        // L (L+ b) = b for centered b.
+        assert!(l.residual_norm(&x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn uncentered_rhs_is_projected() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let l = g.laplacian();
+        let s = GroundedSolver::new(&l, OrderingKind::Natural).unwrap();
+        let b = [2.0, 1.0, 0.0]; // mean 1
+        let x = s.solve(&b);
+        let centered = [1.0, 0.0, -1.0];
+        assert!(l.residual_norm(&x, &centered) < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_graph_is_detected() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let err = GroundedSolver::new(&g.laplacian(), OrderingKind::Natural).unwrap_err();
+        assert_eq!(err, SolverError::GroundedSingular);
+    }
+
+    #[test]
+    fn any_ground_vertex_gives_same_solution() {
+        let g = grid2d(5, 5, WeightModel::Unit, 0);
+        let l = g.laplacian();
+        let mut b: Vec<f64> = (0..25).map(|i| (i as f64).cos()).collect();
+        dense::center(&mut b);
+        let x0 = GroundedSolver::with_ground(&l, 0, OrderingKind::MinDegree)
+            .unwrap()
+            .solve(&b);
+        let x12 = GroundedSolver::with_ground(&l, 12, OrderingKind::Rcm)
+            .unwrap()
+            .solve(&b);
+        assert!(dense::rel_diff(&x0, &x12) < 1e-10);
+    }
+
+    #[test]
+    fn solve_many_matches_individual_solves() {
+        let g = grid2d(6, 6, WeightModel::Unit, 1);
+        let l = g.laplacian();
+        let s = GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..4)
+            .map(|k| {
+                let mut b: Vec<f64> =
+                    (0..36).map(|i| ((i * (k + 2)) as f64 * 0.1).sin()).collect();
+                dense::center(&mut b);
+                b
+            })
+            .collect();
+        let many = s.solve_many(&rhs);
+        for (b, x) in rhs.iter().zip(&many) {
+            assert!(dense::rel_diff(x, &s.solve(b)) < 1e-15);
+            assert!(l.residual_norm(x, b) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_ground() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        assert!(GroundedSolver::with_ground(&g.laplacian(), 5, OrderingKind::Natural).is_err());
+    }
+}

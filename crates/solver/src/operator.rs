@@ -1,0 +1,72 @@
+use sass_sparse::CsrMatrix;
+
+/// A symmetric linear operator `y = A x`, the abstraction consumed by
+/// [`pcg`](crate::pcg) and the eigensolvers in `sass-eigen`.
+///
+/// Implemented for [`CsrMatrix`] directly; matrix-free operators (e.g. the
+/// generalized pencil `L_P⁺ L_G`) implement it in their own crates.
+pub trait LinearOperator {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x.len()` or `y.len()` differ from
+    /// [`LinearOperator::dim`].
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Convenience allocating form of [`LinearOperator::apply`].
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.mul_vec_into(x, y);
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass_sparse::CooMatrix;
+
+    #[test]
+    fn csr_is_an_operator() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 3.0);
+        let a = coo.to_csr();
+        let y = a.apply_vec(&[1.0, 1.0]);
+        assert_eq!(y, vec![2.0, 3.0]);
+        assert_eq!(LinearOperator::dim(&a), 2);
+    }
+
+    #[test]
+    fn references_are_operators() {
+        let a = CsrMatrix::identity(3);
+        let r: &CsrMatrix = &a;
+        assert_eq!(LinearOperator::dim(&r), 3);
+        let y = r.apply_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,170 @@
+use sass_graph::{Graph, RootedTree};
+use sass_sparse::dense;
+
+/// O(n) exact solver for spanning-tree Laplacian systems.
+///
+/// For a tree, `L_T x = b` (with `Σb = 0`) solves in two sweeps without any
+/// factorization: a leaves-to-root pass accumulates the subtree sums
+/// `S_v = Σ_{u ∈ subtree(v)} b_u` (the net current through each tree edge in
+/// the circuit analogy), and a root-to-leaves pass integrates the potential
+/// drops `x_v = x_parent + S_v / w_(v,parent)`. The result is re-centered to
+/// the mean-zero representative `L_T⁺ b`.
+///
+/// This is the cheapest preconditioner in the workspace and the degenerate
+/// case of the sparsifier preconditioner (a sparsifier with zero off-tree
+/// edges).
+///
+/// # Example
+///
+/// ```
+/// use sass_graph::{Graph, RootedTree};
+/// use sass_solver::TreeSolver;
+///
+/// # fn main() -> Result<(), sass_solver::SolverError> {
+/// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)])?;
+/// let tree = RootedTree::new(&g, vec![0, 1], 0)?;
+/// let solver = TreeSolver::new(&g, &tree);
+/// let b = [1.0, 0.0, -1.0];
+/// let x = solver.solve(&b);
+/// assert!(g.laplacian().residual_norm(&x, &b) < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeSolver {
+    /// BFS order (parents before children).
+    order: Vec<u32>,
+    parent: Vec<u32>,
+    /// Weight of the parent edge of each vertex (unused at the root).
+    parent_weight: Vec<f64>,
+}
+
+impl TreeSolver {
+    /// Builds the solver from a rooted spanning tree of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree does not belong to `g` (edge ids out of range).
+    pub fn new(g: &Graph, tree: &RootedTree) -> Self {
+        let n = tree.n();
+        let mut parent = vec![u32::MAX; n];
+        let mut parent_weight = vec![0.0; n];
+        for v in 0..n {
+            if let Some(p) = tree.parent(v) {
+                parent[v] = p as u32;
+                let id = tree.parent_edge(v).expect("non-root has a parent edge");
+                parent_weight[v] = g.edge(id as usize).weight;
+            }
+        }
+        TreeSolver { order: tree.bfs_order().to_vec(), parent, parent_weight }
+    }
+
+    /// Dimension of the system.
+    pub fn n(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Solves `L_T x = center(b)`, returning the mean-zero solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n()];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// In-place variant of [`TreeSolver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n()` or `x.len() != n()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(b.len(), n, "solve: b length mismatch");
+        assert_eq!(x.len(), n, "solve: x length mismatch");
+        let mean = dense::mean(b);
+        // Subtree sums, leaves to root (reverse BFS order).
+        let mut s: Vec<f64> = b.iter().map(|&v| v - mean).collect();
+        for &v in self.order.iter().rev() {
+            let v = v as usize;
+            let p = self.parent[v];
+            if p != u32::MAX {
+                s[p as usize] += s[v];
+            }
+        }
+        // Potentials, root to leaves.
+        for &v in &self.order {
+            let v = v as usize;
+            let p = self.parent[v];
+            x[v] = if p == u32::MAX {
+                0.0
+            } else {
+                x[p as usize] + s[v] / self.parent_weight[v]
+            };
+        }
+        dense::center(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass_graph::spanning;
+    use sass_graph::generators::{grid2d, WeightModel};
+    use sass_sparse::ordering::OrderingKind;
+
+    fn tree_of(g: &Graph) -> RootedTree {
+        let ids = spanning::max_weight_spanning_tree(g).unwrap();
+        RootedTree::new(g, ids, 0).unwrap()
+    }
+
+    #[test]
+    fn matches_direct_solver_on_random_tree() {
+        let g = grid2d(8, 8, WeightModel::Uniform { lo: 0.5, hi: 3.0 }, 5);
+        let tree = tree_of(&g);
+        let tg = g.subgraph_with_edges(tree.edge_ids().iter().copied());
+        let lt = tg.laplacian();
+        let ts = TreeSolver::new(&g, &tree);
+        let direct = crate::GroundedSolver::new(&lt, OrderingKind::MinDegree).unwrap();
+        let mut b: Vec<f64> = (0..g.n()).map(|i| ((i % 11) as f64) - 5.0).collect();
+        dense::center(&mut b);
+        let x_tree = ts.solve(&b);
+        let x_direct = direct.solve(&b);
+        assert!(dense::rel_diff(&x_tree, &x_direct) < 1e-10);
+        assert!(lt.residual_norm(&x_tree, &b) < 1e-10);
+    }
+
+    #[test]
+    fn star_tree_has_closed_form() {
+        // Star at 0 with unit weights: x_leaf - x_hub = b_leaf.
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]).unwrap();
+        let tree = RootedTree::new(&g, vec![0, 1, 2], 0).unwrap();
+        let ts = TreeSolver::new(&g, &tree);
+        let b = [-3.0, 1.0, 1.0, 1.0];
+        let x = ts.solve(&b);
+        for leaf in 1..4 {
+            assert!((x[leaf] - x[0] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn handles_path_with_varying_weights() {
+        let g = Graph::from_edges(4, &[(0, 1, 2.0), (1, 2, 0.5), (2, 3, 4.0)]).unwrap();
+        let tree = RootedTree::new(&g, vec![0, 1, 2], 3).unwrap();
+        let ts = TreeSolver::new(&g, &tree);
+        let b = [1.0, -2.0, 2.0, -1.0];
+        let x = ts.solve(&b);
+        assert!(g.laplacian().residual_norm(&x, &b) < 1e-12);
+        assert!(x.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let tree = RootedTree::new(&g, vec![], 0).unwrap();
+        let ts = TreeSolver::new(&g, &tree);
+        assert_eq!(ts.solve(&[5.0]), vec![0.0]);
+    }
+}

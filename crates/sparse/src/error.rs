@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by sparse-matrix construction, factorization and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// A triplet or index referenced a row/column outside the matrix shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        nrows: usize,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// Operand shapes do not agree (e.g. matrix-vector length mismatch).
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// Factorization hit a zero (or non-positive, for SPD inputs) pivot.
+    ZeroPivot {
+        /// Column (in permuted order) at which the pivot failed.
+        column: usize,
+    },
+    /// The matrix is not square where a square matrix is required.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// The matrix is not structurally/numerically symmetric where required.
+    NotSymmetric,
+    /// A Matrix Market file failed to parse.
+    ParseMatrixMarket {
+        /// Line number (1-based) at which parsing failed, if known.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error occurred while reading or writing a file.
+    Io {
+        /// Stringified [`std::io::Error`] (kept as text so the error stays `Clone`).
+        message: String,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::ShapeMismatch { context } => {
+                write!(f, "shape mismatch: {context}")
+            }
+            SparseError::ZeroPivot { column } => {
+                write!(f, "zero or indefinite pivot at factorization column {column}")
+            }
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "matrix is {nrows}x{ncols}, expected square")
+            }
+            SparseError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            SparseError::ParseMatrixMarket { line, message } => {
+                write!(f, "matrix market parse error at line {line}: {message}")
+            }
+            SparseError::Io { message } => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io { message: err.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 2, nrows: 3, ncols: 3 };
+        let s = e.to_string();
+        assert!(s.contains("(5, 2)"));
+        assert!(s.contains("3x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: SparseError = io.into();
+        assert!(e.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,381 @@
+// Sparse kernels index multiple parallel arrays; explicit loops are clearer.
+#![allow(clippy::needless_range_loop)]
+
+use crate::ordering::{self, OrderingKind};
+use crate::{CsrMatrix, Permutation, Result, SparseError};
+
+/// Sparse `P A Pᵀ = L D Lᵀ` factorization of a symmetric matrix.
+///
+/// This is the classic *up-looking* simplicial algorithm (Davis' `LDL`
+/// package): an elimination-tree based symbolic analysis computes the exact
+/// nonzero count of every column of `L`, then a numeric phase computes one
+/// column at a time with a sparse triangular solve. `L` is unit lower
+/// triangular (unit diagonal not stored) and `D` is diagonal.
+///
+/// The factorization does no pivoting, which is exact for symmetric positive
+/// definite matrices — in this workspace: *grounded* graph Laplacians, which
+/// are SPD for connected graphs.
+///
+/// # Example
+///
+/// ```
+/// use sass_sparse::{CooMatrix, LdlFactor, ordering::OrderingKind};
+///
+/// # fn main() -> Result<(), sass_sparse::SparseError> {
+/// // 2x2 SPD matrix [[2, 1], [1, 2]].
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 2.0); coo.push(1, 1, 2.0);
+/// coo.push_sym(0, 1, 1.0);
+/// let f = LdlFactor::new(&coo.to_csr(), OrderingKind::Natural)?;
+/// let x = f.solve(&[3.0, 3.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-14 && (x[1] - 1.0).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LdlFactor {
+    n: usize,
+    perm: Permutation,
+    /// Column pointers of `L` (CSC, strictly lower triangular part).
+    lp: Vec<usize>,
+    /// Row indices of `L`.
+    li: Vec<u32>,
+    /// Values of `L`.
+    lx: Vec<f64>,
+    /// The diagonal matrix `D`.
+    d: Vec<f64>,
+}
+
+/// Upper-triangle-by-column view of a symmetric CSR matrix.
+///
+/// Column `k` of the upper triangle of a symmetric matrix equals the
+/// entries of row `k` with column index `≤ k`, which is exactly what the
+/// up-looking factorization consumes.
+struct UpperCsc {
+    ap: Vec<usize>,
+    ai: Vec<u32>,
+    ax: Vec<f64>,
+}
+
+fn upper_csc(a: &CsrMatrix) -> UpperCsc {
+    let n = a.nrows();
+    let mut ap = Vec::with_capacity(n + 1);
+    let mut ai = Vec::new();
+    let mut ax = Vec::new();
+    ap.push(0);
+    for k in 0..n {
+        let (cols, vals) = a.row(k);
+        for (c, v) in cols.iter().zip(vals) {
+            if (*c as usize) <= k {
+                ai.push(*c);
+                ax.push(*v);
+            }
+        }
+        ap.push(ai.len());
+    }
+    UpperCsc { ap, ai, ax }
+}
+
+impl LdlFactor {
+    /// Factorizes `a` using a fill-reducing ordering of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for rectangular input and
+    /// [`SparseError::ZeroPivot`] if a pivot vanishes (matrix not positive
+    /// definite after grounding).
+    pub fn new(a: &CsrMatrix, kind: OrderingKind) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let perm = ordering::compute(a, kind)?;
+        Self::with_permutation(a, perm)
+    }
+
+    /// Factorizes `a` with a caller-provided permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if the permutation length
+    /// differs from the matrix dimension, [`SparseError::NotSquare`] for
+    /// rectangular input, or [`SparseError::ZeroPivot`] on pivot breakdown.
+    pub fn with_permutation(a: &CsrMatrix, perm: Permutation) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let n = a.nrows();
+        let b = a.permute_sym(&perm)?;
+        let u = upper_csc(&b);
+
+        // Symbolic: elimination tree and column counts.
+        let mut parent = vec![-1i64; n];
+        let mut flag = vec![-1i64; n];
+        let mut lnz = vec![0usize; n];
+        for k in 0..n {
+            flag[k] = k as i64;
+            for p in u.ap[k]..u.ap[k + 1] {
+                let mut i = u.ai[p] as usize;
+                if i < k {
+                    while flag[i] != k as i64 {
+                        if parent[i] == -1 {
+                            parent[i] = k as i64;
+                        }
+                        lnz[i] += 1;
+                        flag[i] = k as i64;
+                        i = parent[i] as usize;
+                    }
+                }
+            }
+        }
+        let mut lp = vec![0usize; n + 1];
+        for k in 0..n {
+            lp[k + 1] = lp[k] + lnz[k];
+        }
+        let nnz_l = lp[n];
+
+        // Numeric phase.
+        let mut li = vec![0u32; nnz_l];
+        let mut lx = vec![0.0f64; nnz_l];
+        let mut d = vec![0.0f64; n];
+        let mut y = vec![0.0f64; n];
+        let mut pattern = vec![0usize; n];
+        let mut lfill = vec![0usize; n]; // entries written so far per column
+        let mut flag = vec![-1i64; n];
+
+        for k in 0..n {
+            let mut top = n;
+            flag[k] = k as i64;
+            y[k] = 0.0;
+            for p in u.ap[k]..u.ap[k + 1] {
+                let i0 = u.ai[p] as usize;
+                if i0 <= k {
+                    y[i0] += u.ax[p];
+                    let mut len = 0usize;
+                    let mut i = i0;
+                    while flag[i] != k as i64 {
+                        pattern[len] = i;
+                        len += 1;
+                        flag[i] = k as i64;
+                        i = parent[i] as usize;
+                    }
+                    // Move the path onto the output pattern in reverse so the
+                    // final traversal visits ancestors in ascending order.
+                    while len > 0 {
+                        len -= 1;
+                        top -= 1;
+                        pattern[top] = pattern[len];
+                    }
+                }
+            }
+            d[k] = y[k];
+            y[k] = 0.0;
+            for &i in &pattern[top..n] {
+                let yi = y[i];
+                y[i] = 0.0;
+                let p2 = lp[i] + lfill[i];
+                for p in lp[i]..p2 {
+                    y[li[p] as usize] -= lx[p] * yi;
+                }
+                let di = d[i];
+                let l_ki = yi / di;
+                d[k] -= l_ki * yi;
+                li[p2] = k as u32;
+                lx[p2] = l_ki;
+                lfill[i] += 1;
+            }
+            if d[k] == 0.0 || !d[k].is_finite() {
+                return Err(SparseError::ZeroPivot { column: k });
+            }
+        }
+
+        Ok(LdlFactor { n, perm, lp, li, lx, d })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of off-diagonal nonzeros in `L` (a proxy for factor memory).
+    pub fn nnz_l(&self) -> usize {
+        self.lx.len()
+    }
+
+    /// Approximate memory footprint of the factor in bytes
+    /// (values + indices + pointers + diagonal).
+    pub fn memory_bytes(&self) -> usize {
+        self.lx.len() * (8 + 4) + self.lp.len() * 8 + self.d.len() * 8
+    }
+
+    /// The fill-reducing permutation used by this factor.
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// The diagonal `D` of the factorization (in permuted order).
+    ///
+    /// All entries are strictly positive when the input was SPD; the sign
+    /// pattern is the matrix inertia.
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Solves `A x = b`, allocating the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `x.len() != n`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "solve: b length mismatch");
+        assert_eq!(x.len(), self.n, "solve: x length mismatch");
+        // Work in permuted coordinates: y = P b.
+        let new_of_old = self.perm.new_of_old();
+        let mut y = vec![0.0; self.n];
+        for (old, &new) in new_of_old.iter().enumerate() {
+            y[new] = b[old];
+        }
+        // Forward solve L z = y (unit diagonal).
+        for j in 0..self.n {
+            let yj = y[j];
+            if yj != 0.0 {
+                for p in self.lp[j]..self.lp[j + 1] {
+                    y[self.li[p] as usize] -= self.lx[p] * yj;
+                }
+            }
+        }
+        // Diagonal solve D w = z.
+        for j in 0..self.n {
+            y[j] /= self.d[j];
+        }
+        // Backward solve Lᵀ v = w.
+        for j in (0..self.n).rev() {
+            let mut acc = y[j];
+            for p in self.lp[j]..self.lp[j + 1] {
+                acc -= self.lx[p] * y[self.li[p] as usize];
+            }
+            y[j] = acc;
+        }
+        // Un-permute: x = Pᵀ y.
+        for (old, &new) in new_of_old.iter().enumerate() {
+            x[old] = y[new];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn spd_tridiag(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i + 1 < n {
+                coo.push_sym(i, i + 1, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn solves_tridiagonal_every_ordering() {
+        let a = spd_tridiag(50);
+        let b: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        for kind in [
+            OrderingKind::Natural,
+            OrderingKind::Rcm,
+            OrderingKind::MinDegree,
+            OrderingKind::NestedDissection,
+        ] {
+            let f = LdlFactor::new(&a, kind).unwrap();
+            let x = f.solve(&b);
+            assert!(
+                a.residual_norm(&x, &b) < 1e-12,
+                "residual too large for {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_of_identity_is_trivial() {
+        let a = CsrMatrix::identity(10);
+        let f = LdlFactor::new(&a, OrderingKind::Natural).unwrap();
+        assert_eq!(f.nnz_l(), 0);
+        assert!(f.d().iter().all(|&d| (d - 1.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        // Ungrounded 2-node Laplacian is singular.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push_sym(0, 1, -1.0);
+        let err = LdlFactor::new(&coo.to_csr(), OrderingKind::Natural).unwrap_err();
+        assert!(matches!(err, SparseError::ZeroPivot { .. }));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let coo = CooMatrix::new(2, 3);
+        let err = LdlFactor::new(&coo.to_csr(), OrderingKind::Natural).unwrap_err();
+        assert!(matches!(err, SparseError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn random_spd_solves_accurately() {
+        // A = B + n*I with random sparse symmetric B is SPD-dominant.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 80;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, n as f64);
+        }
+        for _ in 0..300 {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i != j {
+                coo.push_sym(i.min(j), i.max(j), rng.gen_range(-1.0..1.0));
+            }
+        }
+        let a = coo.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        for kind in [OrderingKind::MinDegree, OrderingKind::Rcm] {
+            let f = LdlFactor::new(&a, kind).unwrap();
+            let x = f.solve(&b);
+            assert!(a.residual_norm(&x, &b) < 1e-11);
+        }
+    }
+
+    #[test]
+    fn d_positive_for_spd() {
+        let a = spd_tridiag(20);
+        let f = LdlFactor::new(&a, OrderingKind::MinDegree).unwrap();
+        assert!(f.d().iter().all(|&d| d > 0.0));
+        assert!(f.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = spd_tridiag(16);
+        let f = LdlFactor::new(&a, OrderingKind::Rcm).unwrap();
+        let b = vec![1.0; 16];
+        let x1 = f.solve(&b);
+        let mut x2 = vec![0.0; 16];
+        f.solve_into(&b, &mut x2);
+        assert_eq!(x1, x2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Sparse symmetric linear-algebra substrate for the SASS workspace.
+//!
+//! This crate provides everything the spectral-sparsification pipeline needs
+//! from a sparse linear-algebra library, implemented from scratch:
+//!
+//! - [`CooMatrix`]: triplet assembly format with duplicate summing,
+//! - [`CsrMatrix`]: compressed sparse row storage with matrix-vector kernels,
+//! - [`LdlFactor`]: an up-looking sparse `L D Lᵀ` factorization
+//!   (CSparse/LDL style) with elimination-tree symbolic analysis,
+//! - fill-reducing orderings ([`ordering`]): reverse Cuthill–McKee,
+//!   quotient-graph minimum degree, and BFS-separator nested dissection,
+//! - [`Permutation`]: composable row/column permutations,
+//! - [`mmio`]: Matrix Market coordinate-format reading and writing,
+//! - [`dense`]: the handful of dense vector kernels (dot, axpy, norms,
+//!   mean-centering) used by every iterative method in the workspace.
+//!
+//! # Example
+//!
+//! Assemble a small symmetric positive definite matrix, factorize and solve:
+//!
+//! ```
+//! use sass_sparse::{CooMatrix, LdlFactor, ordering::OrderingKind};
+//!
+//! # fn main() -> Result<(), sass_sparse::SparseError> {
+//! let mut coo = CooMatrix::new(3, 3);
+//! coo.push(0, 0, 4.0); coo.push(1, 1, 4.0); coo.push(2, 2, 4.0);
+//! coo.push(0, 1, 1.0); coo.push(1, 0, 1.0);
+//! coo.push(1, 2, 1.0); coo.push(2, 1, 1.0);
+//! let a = coo.to_csr();
+//! let f = LdlFactor::new(&a, OrderingKind::MinDegree)?;
+//! let x = f.solve(&[6.0, 12.0, 9.0]);
+//! let r = a.residual_norm(&x, &[6.0, 12.0, 9.0]);
+//! assert!(r < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod coo;
+mod csr;
+mod error;
+mod ldl;
+mod perm;
+
+pub mod dense;
+pub mod mmio;
+pub mod ordering;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use ldl::LdlFactor;
+pub use perm::Permutation;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,166 @@
+use crate::{Result, SparseError};
+
+/// A permutation of `0..n`, stored with both directions precomputed.
+///
+/// The canonical direction is *new-of-old*: `new_of_old()[i]` is the new
+/// position of old index `i`. Fill-reducing orderings in [`crate::ordering`]
+/// all return this type.
+///
+/// # Example
+///
+/// ```
+/// use sass_sparse::Permutation;
+///
+/// # fn main() -> Result<(), sass_sparse::SparseError> {
+/// let p = Permutation::from_new_of_old(vec![2, 0, 1])?;
+/// assert_eq!(p.old_of_new(), &[1, 2, 0]);
+/// let permuted = p.apply(&[10.0, 20.0, 30.0]);
+/// assert_eq!(permuted, vec![20.0, 30.0, 10.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_of_old: Vec<usize>,
+    old_of_new: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation of length `n`.
+    pub fn identity(n: usize) -> Self {
+        let v: Vec<usize> = (0..n).collect();
+        Permutation { new_of_old: v.clone(), old_of_new: v }
+    }
+
+    /// Builds a permutation from the new-of-old direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `new_of_old` is not a
+    /// bijection of `0..n`.
+    pub fn from_new_of_old(new_of_old: Vec<usize>) -> Result<Self> {
+        let n = new_of_old.len();
+        let mut old_of_new = vec![usize::MAX; n];
+        for (old, &new) in new_of_old.iter().enumerate() {
+            if new >= n || old_of_new[new] != usize::MAX {
+                return Err(SparseError::ShapeMismatch {
+                    context: "new_of_old is not a permutation".to_string(),
+                });
+            }
+            old_of_new[new] = old;
+        }
+        Ok(Permutation { new_of_old, old_of_new })
+    }
+
+    /// Builds a permutation from the old-of-new direction (an *ordering*:
+    /// `old_of_new[k]` is the old index placed at position `k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if the input is not a
+    /// bijection of `0..n`.
+    pub fn from_old_of_new(old_of_new: Vec<usize>) -> Result<Self> {
+        let n = old_of_new.len();
+        let mut new_of_old = vec![usize::MAX; n];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            if old >= n || new_of_old[old] != usize::MAX {
+                return Err(SparseError::ShapeMismatch {
+                    context: "old_of_new is not a permutation".to_string(),
+                });
+            }
+            new_of_old[old] = new;
+        }
+        Ok(Permutation { new_of_old, old_of_new })
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// New position of each old index.
+    pub fn new_of_old(&self) -> &[usize] {
+        &self.new_of_old
+    }
+
+    /// Old index at each new position.
+    pub fn old_of_new(&self) -> &[usize] {
+        &self.old_of_new
+    }
+
+    /// Applies the permutation to a vector: `out[new_of_old[i]] = x[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len(), "permutation length mismatch");
+        let mut out = vec![0.0; x.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            out[new] = x[old];
+        }
+        out
+    }
+
+    /// Applies the inverse permutation: `out[i] = x[new_of_old[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply_inverse(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len(), "permutation length mismatch");
+        let mut out = vec![0.0; x.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            out[old] = x[new];
+        }
+        out
+    }
+
+    /// The inverse permutation as a new `Permutation`.
+    pub fn inverse(&self) -> Permutation {
+        Permutation { new_of_old: self.old_of_new.clone(), old_of_new: self.new_of_old.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let p = Permutation::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(p.apply(&x), x.to_vec());
+        assert_eq!(p.apply_inverse(&x), x.to_vec());
+    }
+
+    #[test]
+    fn apply_then_inverse_is_identity() {
+        let p = Permutation::from_new_of_old(vec![3, 1, 0, 2]).unwrap();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = p.apply(&x);
+        assert_eq!(p.apply_inverse(&y), x.to_vec());
+    }
+
+    #[test]
+    fn directions_are_consistent() {
+        let p = Permutation::from_old_of_new(vec![2, 0, 1]).unwrap();
+        for new in 0..3 {
+            assert_eq!(p.new_of_old()[p.old_of_new()[new]], new);
+        }
+        let q = p.inverse();
+        assert_eq!(q.new_of_old(), p.old_of_new());
+    }
+
+    #[test]
+    fn rejects_non_bijection() {
+        assert!(Permutation::from_new_of_old(vec![0, 0]).is_err());
+        assert!(Permutation::from_new_of_old(vec![0, 5]).is_err());
+        assert!(Permutation::from_old_of_new(vec![1, 1]).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the sparse-matrix substrate: factorization
+//! correctness against a dense reference, format round-trips, and
+//! permutation algebra — over randomized inputs.
+
+#![allow(clippy::needless_range_loop)] // the dense reference reads best with indices
+
+use proptest::prelude::*;
+use sass_sparse::ordering::OrderingKind;
+use sass_sparse::{CooMatrix, CsrMatrix, LdlFactor, Permutation};
+
+/// Strategy: a random sparse SPD matrix (diagonally dominant) of size
+/// `n in [2, 24]` with `k` random symmetric off-diagonal entries.
+fn spd_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (2usize..24).prop_flat_map(|n| {
+        let entries = proptest::collection::vec(
+            (0usize..n, 0usize..n, -1.0f64..1.0),
+            0..(3 * n),
+        );
+        (Just(n), entries).prop_map(|(n, entries)| {
+            let mut coo = CooMatrix::new(n, n);
+            let mut row_abs = vec![0.0f64; n];
+            for &(i, j, v) in &entries {
+                if i != j {
+                    coo.push_sym(i.min(j), i.max(j), v);
+                    row_abs[i] += v.abs();
+                    row_abs[j] += v.abs();
+                }
+            }
+            // Strict diagonal dominance makes it SPD.
+            for (i, &ra) in row_abs.iter().enumerate() {
+                coo.push(i, i, ra + 1.0);
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// Dense Gaussian elimination with partial pivoting (test reference).
+fn dense_solve(a: &CsrMatrix, b: &[f64]) -> Vec<f64> {
+    let n = a.nrows();
+    let mut m = a.to_dense();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        let piv = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
+            .unwrap();
+        m.swap(col, piv);
+        x.swap(col, piv);
+        for row in (col + 1)..n {
+            let f = m[row][col] / m[col][col];
+            for k in col..n {
+                m[row][k] -= f * m[col][k];
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    for col in (0..n).rev() {
+        x[col] /= m[col][col];
+        for row in 0..col {
+            x[row] -= m[row][col] * x[col];
+        }
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ldl_matches_dense_reference(a in spd_matrix(), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let n = a.nrows();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let reference = dense_solve(&a, &b);
+        for kind in [
+            OrderingKind::Natural,
+            OrderingKind::Rcm,
+            OrderingKind::MinDegree,
+            OrderingKind::NestedDissection,
+        ] {
+            let f = LdlFactor::new(&a, kind).unwrap();
+            let x = f.solve(&b);
+            for (xi, ri) in x.iter().zip(&reference) {
+                prop_assert!((xi - ri).abs() < 1e-7 * ri.abs().max(1.0),
+                             "{kind:?}: {xi} vs {ri}");
+            }
+        }
+    }
+
+    #[test]
+    fn ldl_diagonal_positive_for_spd(a in spd_matrix()) {
+        let f = LdlFactor::new(&a, OrderingKind::MinDegree).unwrap();
+        prop_assert!(f.d().iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn coo_csr_round_trip(a in spd_matrix()) {
+        let back = a.to_coo().to_csr();
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn transpose_is_involution(a in spd_matrix()) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        prop_assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn spmv_matches_dense(a in spd_matrix(), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let n = a.nrows();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let y = a.mul_vec(&x);
+        let dense = a.to_dense();
+        for i in 0..n {
+            let want: f64 = (0..n).map(|j| dense[i][j] * x[j]).sum();
+            prop_assert!((y[i] - want).abs() < 1e-10 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_spectrum_proxy(
+        a in spd_matrix(), seed in 0u64..1000
+    ) {
+        // P A P^T has the same quadratic form under the permuted vector.
+        use rand::{Rng, SeedableRng};
+        let n = a.nrows();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Random permutation via sorting random keys.
+        let mut order: Vec<usize> = (0..n).collect();
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let perm = Permutation::from_old_of_new(order).unwrap();
+        let b = a.permute_sym(&perm).unwrap();
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let px = perm.apply(&x);
+        prop_assert!((a.quad_form(&x) - b.quad_form(&px)).abs()
+                     < 1e-9 * a.quad_form(&x).abs().max(1.0));
+    }
+
+    #[test]
+    fn permutation_inverse_composes_to_identity(n in 1usize..64, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let p = Permutation::from_new_of_old(order).unwrap();
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        prop_assert_eq!(p.apply_inverse(&p.apply(&x)), x.clone());
+        let double_inverse = p.inverse().inverse();
+        prop_assert_eq!(double_inverse.new_of_old(), p.new_of_old());
+    }
+
+    #[test]
+    fn matrix_market_round_trip(a in spd_matrix()) {
+        let text = sass_sparse::mmio::write_string(&a).unwrap();
+        let back = sass_sparse::mmio::read_str(&text).unwrap().to_csr();
+        prop_assert_eq!(a, back);
+    }
+}

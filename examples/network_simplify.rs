@@ -1,0 +1,52 @@
+//! Simplifying a scale-free social-network-style graph (the paper's
+//! Table 4 scenario): sparsify to sigma^2 ~ 100, then compare the cost of
+//! computing the first ten Laplacian eigenvectors before and after.
+//!
+//! ```text
+//! cargo run --release --example network_simplify
+//! ```
+
+use sass::core::{sparsify, SparsifyConfig};
+use sass::eigen::lanczos::{lanczos_smallest_laplacian, LanczosOptions};
+use sass::sparse::ordering::OrderingKind;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = sass::graph::generators::barabasi_albert(8_000, 4, 13);
+    println!("scale-free network: |V| = {}, |E| = {}", g.n(), g.m());
+
+    let t0 = Instant::now();
+    let sp = sparsify(&g, &SparsifyConfig::new(100.0).with_seed(3))?;
+    println!(
+        "sparsified to {} edges ({:.1}x reduction) in {:.2?}",
+        sp.graph().m(),
+        g.m() as f64 / sp.graph().m() as f64,
+        t0.elapsed()
+    );
+
+    let opts = LanczosOptions { max_dim: 200, tol: 1e-6, seed: 4 };
+    let lg = g.laplacian();
+    let t0 = Instant::now();
+    let eo = lanczos_smallest_laplacian(&lg, 10, OrderingKind::MinDegree, &opts)?;
+    let t_orig = t0.elapsed();
+
+    let lp = sp.graph().laplacian();
+    let t0 = Instant::now();
+    let es = lanczos_smallest_laplacian(&lp, 10, OrderingKind::MinDegree, &opts)?;
+    let t_sp = t0.elapsed();
+
+    println!("\nfirst 10 nontrivial Laplacian eigenvalues:");
+    println!("{:>4}  {:>12}  {:>12}  {:>8}", "k", "original", "sparsified", "ratio");
+    for (k, (a, b)) in eo.eigenvalues.iter().zip(&es.eigenvalues).enumerate() {
+        println!("{:>4}  {:>12.6}  {:>12.6}  {:>8.3}", k + 2, a, b, b / a);
+    }
+    println!(
+        "\neigensolve time: original {:.2?}, sparsified {:.2?} ({:.1}x speedup)",
+        t_orig,
+        t_sp,
+        t_orig.as_secs_f64() / t_sp.as_secs_f64().max(1e-9)
+    );
+    println!("shape to observe: low eigenvalues agree within the sigma^2 band while");
+    println!("the sparsified eigensolve is much cheaper (less factorization fill).");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Quickstart: sparsify a graph and inspect what the algorithm did.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sass::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A power-grid-style graph: 2-D grid, conductances spread over orders
+    // of magnitude, plus random vias.
+    let g = sass::graph::generators::circuit_grid(64, 64, 0.1, 42);
+    println!("input graph: |V| = {}, |E| = {}", g.n(), g.m());
+
+    // Sparsify with a target relative condition number of 100.
+    let config = SparsifyConfig::new(100.0).with_seed(42);
+    let sp = sparsify(&g, &config)?;
+
+    println!(
+        "sparsifier:  |Es| = {} ({:.1}% of edges, density |Es|/|V| = {:.2})",
+        sp.graph().m(),
+        100.0 * sp.graph().m() as f64 / g.m() as f64,
+        sp.density()
+    );
+    println!(
+        "backbone: {} tree edges + {} recovered off-tree edges",
+        sp.tree_edge_ids().len(),
+        sp.added_edge_ids().len()
+    );
+    println!("converged: {} (estimated condition {:.1})", sp.converged(), sp.condition_estimate());
+
+    println!("\ndensification rounds:");
+    println!("round  edges  lambda_max  lambda_min  condition  candidates  added");
+    for r in sp.rounds() {
+        println!(
+            "{:>5}  {:>5}  {:>10.1}  {:>10.3}  {:>9.1}  {:>10}  {:>5}",
+            r.round, r.edges, r.lambda_max, r.lambda_min, r.condition, r.candidates, r.added
+        );
+    }
+
+    // The whole point: the sparsifier is a strong preconditioner.
+    let lg = g.laplacian();
+    let prec = LaplacianPrec::new(GroundedSolver::new(
+        &sp.graph().laplacian(),
+        Default::default(),
+    )?);
+    let mut b = vec![0.0; g.n()];
+    b[0] = 1.0;
+    b[g.n() - 1] = -1.0;
+    let (x, stats) = pcg(&lg, &b, &prec, &PcgOptions::default());
+    println!(
+        "\nPCG with sparsifier preconditioner: {} iterations to {:.1e} residual",
+        stats.iterations, stats.relative_residual
+    );
+    println!("solution residual check: {:.2e}", lg.residual_norm(&x, &b));
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! SDD solver shoot-out: how the similarity-aware sparsifier preconditioner
+//! compares against identity, Jacobi and tree-only preconditioning on an
+//! ill-conditioned circuit Laplacian (the paper's Table 2 scenario).
+//!
+//! ```text
+//! cargo run --release --example sdd_solver
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sass::prelude::*;
+use sass_graph::spanning;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = sass::graph::generators::circuit_grid(96, 96, 0.1, 11);
+    let lg = g.laplacian();
+    println!("circuit grid: |V| = {}, |E| = {}", g.n(), g.m());
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut b: Vec<f64> = (0..g.n()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    sass::sparse::dense::center(&mut b);
+    let opts = PcgOptions { tol: 1e-6, max_iter: 50_000, ..Default::default() };
+
+    println!("\npreconditioner                          iterations");
+
+    // 1. No preconditioning.
+    let (_, s) = pcg(&lg, &b, &IdentityPrec, &opts);
+    println!("identity                                {:>10}", s.iterations);
+
+    // 2. Jacobi.
+    let (_, s) = pcg(&lg, &b, &JacobiPrec::new(&lg), &opts);
+    println!("jacobi                                  {:>10}", s.iterations);
+
+    // 3. Spanning tree only (a sparsifier with zero off-tree edges).
+    let tree_ids = spanning::max_weight_spanning_tree(&g)?;
+    let tree = RootedTree::new(&g, tree_ids, 0)?;
+    let (_, s) = pcg(&lg, &b, &TreePrec::new(TreeSolver::new(&g, &tree)), &opts);
+    println!("max-weight spanning tree                {:>10}", s.iterations);
+
+    // 4. Similarity-aware sparsifiers at three similarity levels.
+    for sigma2 in [400.0, 100.0, 25.0] {
+        let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_seed(3))?;
+        let prec =
+            LaplacianPrec::new(GroundedSolver::new(&sp.graph().laplacian(), Default::default())?);
+        let (_, s) = pcg(&lg, &b, &prec, &opts);
+        println!(
+            "sparsifier sigma^2 = {:<6} ({:>6} edges) {:>10}",
+            sigma2,
+            sp.graph().m(),
+            s.iterations
+        );
+    }
+
+    println!("\nshape to observe: iterations fall as sigma^2 tightens — the edge");
+    println!("filtering threshold directly trades sparsifier size for solver speed.");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Sparsify a Matrix Market SDD matrix from disk — the workflow for users
+//! bringing their own matrices (e.g. SuiteSparse downloads).
+//!
+//! ```text
+//! cargo run --release --example sparsify_mtx -- input.mtx [sigma2] [output.mtx]
+//! ```
+//!
+//! With no arguments, a demo matrix is generated, written to a temp file
+//! and processed — so the example is runnable out of the box.
+
+use sass::core::{sparsify, SparsifyConfig};
+use sass::graph::Graph;
+use sass::sparse::mmio;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+
+    let (input, cleanup_demo) = if args.len() >= 2 {
+        (std::path::PathBuf::from(&args[1]), false)
+    } else {
+        // Demo mode: generate a circuit-style Laplacian and write it out.
+        let path = std::env::temp_dir().join("sass_demo_input.mtx");
+        let g = sass::graph::generators::circuit_grid(48, 48, 0.1, 7);
+        mmio::write_path(&g.laplacian(), &path)?;
+        println!("demo mode: wrote a 48x48 circuit-grid Laplacian to {}", path.display());
+        (path, true)
+    };
+    let sigma2: f64 = args.get(2).map_or(Ok(100.0), |s| s.parse())?;
+    let output = args
+        .get(3)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("sass_sparsified.mtx"));
+
+    // Read, interpret as a graph (paper's rule: |lower-triangular entries|
+    // become edge weights), sparsify, write back.
+    let matrix = mmio::read_path(&input)?.to_csr();
+    let g = Graph::from_sdd_matrix(&matrix)?;
+    println!(
+        "read {}: {} rows, {} nonzeros -> graph with |V| = {}, |E| = {}",
+        input.display(),
+        matrix.nrows(),
+        matrix.nnz(),
+        g.n(),
+        g.m()
+    );
+
+    let sp = sparsify(&g, &SparsifyConfig::new(sigma2))?;
+    println!(
+        "sparsified to {} edges ({:.1}%) at sigma^2 <= {} (estimated condition {:.1})",
+        sp.graph().m(),
+        100.0 * sp.graph().m() as f64 / g.m() as f64,
+        sigma2,
+        sp.condition_estimate()
+    );
+
+    let f = std::fs::File::create(&output)?;
+    mmio::write_symmetric(&sp.graph().laplacian(), std::io::BufWriter::new(f))?;
+    println!("sparsified Laplacian written to {}", output.display());
+
+    if cleanup_demo {
+        let _ = std::fs::remove_file(&input);
+    }
+    Ok(())
+}

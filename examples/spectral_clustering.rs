@@ -1,0 +1,65 @@
+//! Spectral clustering of a community graph, on the original and on its
+//! similarity-aware sparsifier (the paper's Table 4 `RCV-80NN` scenario:
+//! when the original graph is too big to eigensolve, cluster the
+//! sparsifier instead).
+//!
+//! ```text
+//! cargo run --release --example spectral_clustering
+//! ```
+
+use sass::core::{sparsify, SparsifyConfig};
+use sass::graph::generators::stochastic_block_model;
+use sass::partition::clustering::{spectral_clustering, ClusteringOptions};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Four planted communities with sparse inter-community noise.
+    let sizes = [150, 150, 150, 150];
+    let g = stochastic_block_model(&sizes, 0.15, 0.005, 21);
+    println!("SBM graph: |V| = {}, |E| = {}, 4 planted blocks", g.n(), g.m());
+
+    let t0 = Instant::now();
+    let c_orig = spectral_clustering(&g, 4, &ClusteringOptions::default())?;
+    let t_orig = t0.elapsed();
+
+    let t0 = Instant::now();
+    let sp = sparsify(&g, &SparsifyConfig::new(5.0).with_seed(3))?;
+    let t_sparsify = t0.elapsed();
+    let t0 = Instant::now();
+    let c_sp = spectral_clustering(sp.graph(), 4, &ClusteringOptions::default())?;
+    let t_sp = t0.elapsed();
+
+    let accuracy = |assignment: &[usize]| -> f64 {
+        // Rand index against the planted blocks.
+        let block = |v: usize| v / 150;
+        let n = assignment.len();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (block(i) == block(j)) == (assignment[i] == assignment[j]) {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        agree as f64 / total as f64
+    };
+
+    println!("\noriginal graph:   rand index {:.4}, cut weight {:.0}, eigensolve+kmeans {:.2?}",
+             accuracy(&c_orig.assignment), c_orig.cut_weight, t_orig);
+    println!(
+        "sparsifier ({} of {} edges): rand index {:.4}, cut weight {:.0}, {:.2?} (+{:.2?} sparsify)",
+        sp.graph().m(),
+        g.m(),
+        accuracy(&c_sp.assignment),
+        c_sp.cut_weight,
+        t_sp,
+        t_sparsify
+    );
+    println!("\nshape to observe: clustering quality carries over to the sparsifier");
+    println!("(tighter sigma^2 -> higher fidelity) while the eigensolve gets cheaper —");
+    println!("the gap grows with graph size (paper Table 4: RCV-80NN only clusters");
+    println!("at all after sparsification).");
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Application-level integration tests: the paper's three use cases
+//! (solver, partitioner, network simplification) exercised through the
+//! public facade.
+
+use sass::core::{sparsify, SparsifyConfig};
+use sass::eigen::lanczos::{lanczos_smallest_laplacian, LanczosOptions};
+use sass::graph::generators as gen;
+use sass::gsp::drawing::{drawing_correlation, spectral_coordinates};
+use sass::gsp::filtering::band_preservation;
+use sass::partition::{partition, relative_error, Backend, PartitionOptions};
+use sass::solver::PcgOptions;
+use sass::sparse::ordering::OrderingKind;
+
+#[test]
+fn partitioner_backends_agree_on_weighted_mesh() {
+    let g = gen::grid2d(40, 30, gen::WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1);
+    let direct = partition(
+        &g,
+        &PartitionOptions {
+            backend: Backend::Direct { ordering: OrderingKind::NestedDissection },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let sparsified = partition(
+        &g,
+        &PartitionOptions {
+            backend: Backend::Sparsified {
+                config: SparsifyConfig::new(200.0).with_seed(2),
+                pcg: PcgOptions { tol: 1e-6, ..Default::default() },
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(relative_error(&direct, &sparsified) < 0.05);
+    assert!(sparsified.balance_ratio() < 1.5);
+    assert!(direct.balance_ratio() < 1.5);
+}
+
+#[test]
+fn sparsified_eigensolve_matches_low_spectrum() {
+    // Table 4's promise: the sparsifier's low eigenvalues approximate the
+    // original's within the similarity band, at far lower cost.
+    let g = gen::fem_mesh3d(8, 8, 8, 3);
+    let sp = sparsify(&g, &SparsifyConfig::new(50.0).with_seed(4)).unwrap();
+    let opts = LanczosOptions { max_dim: 150, tol: 1e-8, seed: 5 };
+    let eo =
+        lanczos_smallest_laplacian(&g.laplacian(), 5, OrderingKind::MinDegree, &opts).unwrap();
+    let es = lanczos_smallest_laplacian(
+        &sp.graph().laplacian(),
+        5,
+        OrderingKind::MinDegree,
+        &opts,
+    )
+    .unwrap();
+    for (a, b) in eo.eigenvalues.iter().zip(&es.eigenvalues) {
+        // P's eigenvalues are below G's (subgraph) but within the sigma
+        // band: lambda_G / sigma^2-ish <= lambda_P <= lambda_G.
+        assert!(*b <= *a + 1e-9, "sparsifier eigenvalue {b} above original {a}");
+        assert!(*b >= *a / 60.0, "sparsifier eigenvalue {b} too far below {a}");
+    }
+}
+
+#[test]
+fn fig1_style_drawing_correlation() {
+    let (g, _) = gen::airfoil_mesh(12, 36, 7);
+    let sp = sparsify(&g, &SparsifyConfig::new(40.0).with_seed(6)).unwrap();
+    let cg = spectral_coordinates(&g.laplacian(), 2).unwrap();
+    let cp = spectral_coordinates(&sp.graph().laplacian(), 2).unwrap();
+    for d in 0..2 {
+        let a: Vec<f64> = cg.iter().map(|c| c[d]).collect();
+        let b: Vec<f64> = cp.iter().map(|c| c[d]).collect();
+        assert!(drawing_correlation(&a, &b) > 0.85, "axis {d}");
+    }
+}
+
+#[test]
+fn low_pass_filter_property_holds_on_average() {
+    // The paper's §3.4 claim is statistical: averaged over instances, the
+    // sparsifier preserves the low band better than the high band. Single
+    // seeds can tie within noise, so average over several.
+    let mut low_sum = 0.0;
+    let mut high_sum = 0.0;
+    for seed in [8u64, 9, 10, 11] {
+        let g = gen::fem_mesh2d(8, 8, seed);
+        let sp = sparsify(&g, &SparsifyConfig::new(50.0).with_seed(seed)).unwrap();
+        let bp = band_preservation(&g.laplacian(), &sp.graph().laplacian()).unwrap();
+        let k = bp.ratios.len() / 4;
+        low_sum += bp.low_band_error(k);
+        high_sum += bp.high_band_error(k);
+    }
+    assert!(
+        low_sum < high_sum,
+        "mean low-band error {low_sum} not below high-band {high_sum}"
+    );
+}
+
+#[test]
+fn partitioner_rejects_disconnected_input() {
+    let g = sass::graph::Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+    assert!(partition(&g, &PartitionOptions::default()).is_err());
+}

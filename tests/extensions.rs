@@ -1,0 +1,156 @@
+//! Integration tests for the beyond-the-paper extensions, exercised
+//! together through the public facade: AMG preconditioning, k-way
+//! partitioning, spectral clustering, Chebyshev filtering, the
+//! Spielman–Srivastava baseline, multi-RHS solves and post-hoc
+//! verification.
+
+use sass::core::baseline::{spielman_srivastava, SsConfig};
+use sass::core::extremes::verify_extremes;
+use sass::core::{sparsify, SparsifyConfig};
+use sass::graph::generators as gen;
+use sass::gsp::chebyshev::ChebyshevFilter;
+use sass::partition::clustering::{spectral_clustering, ClusteringOptions};
+use sass::partition::kway::kway_partition;
+use sass::partition::{Backend, CutRule, PartitionOptions};
+use sass::prelude::*;
+use sass::solver::AmgPrec;
+use sass::sparse::dense;
+
+#[test]
+fn amg_preconditions_the_same_systems_as_the_sparsifier() {
+    let g = gen::circuit_grid(30, 30, 0.1, 3);
+    let l = g.laplacian();
+    let mut b = vec![0.0; g.n()];
+    b[0] = 1.0;
+    b[g.n() - 1] = -1.0;
+    let opts = PcgOptions { tol: 1e-8, max_iter: 5000, ..Default::default() };
+
+    let amg = AmgPrec::new(&l, &Default::default()).unwrap();
+    let (x1, s1) = pcg(&l, &b, &amg, &opts);
+    assert!(s1.converged);
+
+    let sp = sparsify(&g, &SparsifyConfig::new(50.0)).unwrap();
+    let prec = LaplacianPrec::new(
+        GroundedSolver::new(&sp.graph().laplacian(), Default::default()).unwrap(),
+    );
+    let (x2, s2) = pcg(&l, &b, &prec, &opts);
+    assert!(s2.converged);
+
+    // Same solution from both preconditioners (both solve L_G x = b).
+    assert!(dense::rel_diff(&x1, &x2) < 1e-5);
+}
+
+#[test]
+fn verify_extremes_confirms_a_fresh_sparsifier() {
+    let g = gen::fem_mesh2d(20, 20, 5);
+    let sigma2 = 60.0;
+    let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_seed(1)).unwrap();
+    // Independent re-estimation with a different seed stream.
+    let check = verify_extremes(&g, sp.graph(), 15, 0xfeed).unwrap();
+    assert!(check.lambda_min >= 1.0 - 1e-9);
+    assert!(
+        check.condition() <= 1.5 * sigma2,
+        "verification condition {} vs target {sigma2}",
+        check.condition()
+    );
+}
+
+#[test]
+fn kway_and_clustering_agree_on_strong_communities() {
+    let g = gen::stochastic_block_model(&[40, 40, 40], 0.4, 0.01, 11);
+    let kp = kway_partition(
+        &g,
+        3,
+        &PartitionOptions {
+            backend: Backend::Direct { ordering: Default::default() },
+            cut: CutRule::Sweep { min_balance: 0.2 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let cl = spectral_clustering(&g, 3, &ClusteringOptions::default()).unwrap();
+    // Both methods should produce low-cut partitions of similar quality.
+    let planted_cut: f64 = g
+        .edges()
+        .iter()
+        .filter(|e| (e.u as usize) / 40 != (e.v as usize) / 40)
+        .map(|e| e.weight)
+        .sum();
+    assert!(kp.cut_weight <= 2.0 * planted_cut, "kway cut {}", kp.cut_weight);
+    assert!(cl.cut_weight <= 2.0 * planted_cut, "clustering cut {}", cl.cut_weight);
+}
+
+#[test]
+fn chebyshev_filter_agrees_with_sparsifier_low_pass_view() {
+    // The paper's §3.4 analogy made literal: an explicit low-pass filter and
+    // a sparsifier both preserve a smooth signal's quadratic form far
+    // better than an oscillatory one.
+    let g = gen::fem_mesh2d(10, 10, 7);
+    let l = g.laplacian();
+    let lmax = (0..g.n()).map(|v| g.weighted_degree(v)).fold(0.0, f64::max) * 2.0;
+    let filter = ChebyshevFilter::low_pass(lmax, 0.2 * lmax, 32);
+
+    let solver = GroundedSolver::new(&l, Default::default()).unwrap();
+    let smooth = sass::gsp::signal::smooth_signal(&solver, 3, 1);
+    let rough = sass::gsp::signal::oscillatory_signal(&l, 3, 1);
+
+    let keep = |x: &[f64]| {
+        let y = filter.apply(&l, x);
+        dense::dot(&y, &y) / dense::dot(x, x)
+    };
+    assert!(keep(&smooth) > keep(&rough));
+
+    let sp = sparsify(&g, &SparsifyConfig::new(30.0)).unwrap();
+    let lp = sp.graph().laplacian();
+    let preserve = |x: &[f64]| lp.quad_form(x) / l.quad_form(x);
+    assert!(preserve(&smooth) > preserve(&rough));
+}
+
+#[test]
+fn ss_baseline_needs_more_edges_for_equal_conditioning() {
+    use sass::eigen::pencil::dense_generalized_eigenvalues;
+    let g = gen::circuit_grid(12, 12, 0.2, 9);
+    let sa = sparsify(&g, &SparsifyConfig::new(40.0).with_seed(2)).unwrap();
+    let kappa = |p: &sass::graph::Graph| {
+        let vals = dense_generalized_eigenvalues(&g.laplacian(), &p.laplacian()).unwrap();
+        vals.last().unwrap() / vals.first().unwrap()
+    };
+    let kappa_sa = kappa(sa.graph());
+    // Give SS the same edge budget.
+    let factor = sa.graph().m() as f64 / g.n() as f64;
+    let ss = spielman_srivastava(&g, &SsConfig::with_sample_factor(g.n(), 2.0 * factor))
+        .unwrap();
+    let kappa_ss = kappa(&ss);
+    assert!(
+        kappa_sa < kappa_ss,
+        "similarity-aware kappa {kappa_sa} should beat SS {kappa_ss} at matched budget"
+    );
+}
+
+#[test]
+fn multi_rhs_solves_share_one_factorization() {
+    let g = gen::grid2d(15, 15, gen::WeightModel::Unit, 1);
+    let l = g.laplacian();
+    let solver = GroundedSolver::new(&l, Default::default()).unwrap();
+    let rhs: Vec<Vec<f64>> = (0..5)
+        .map(|k| {
+            let mut b: Vec<f64> =
+                (0..g.n()).map(|i| ((i * (k + 3)) as f64 * 0.31).sin()).collect();
+            dense::center(&mut b);
+            b
+        })
+        .collect();
+    for (b, x) in rhs.iter().zip(solver.solve_many(&rhs)) {
+        assert!(l.residual_norm(&x, b) < 1e-9);
+    }
+}
+
+#[test]
+fn sparsifier_display_reports_rounds() {
+    let g = gen::circuit_grid(16, 16, 0.15, 4);
+    let sp = sparsify(&g, &SparsifyConfig::new(40.0)).unwrap();
+    let report = sp.to_string();
+    assert!(report.contains("sparsifier:"));
+    assert!(report.contains("round"));
+    assert!(report.lines().count() >= 3);
+}

@@ -1,0 +1,177 @@
+//! Robustness and failure-injection tests: extreme weights, degenerate
+//! topologies, and adversarial configurations that a production
+//! sparsification library must survive.
+
+use sass::core::{sparsify, CoreError, SparsifyConfig};
+use sass::graph::{Graph, GraphBuilder};
+use sass::prelude::*;
+
+/// Weights spanning 12 orders of magnitude — the kind of spread real
+/// circuit matrices have (and which breaks naive unpreconditioned CG).
+#[test]
+fn extreme_weight_spread() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let nx = 20;
+    let mut b = GraphBuilder::new(nx * nx);
+    let id = |x: usize, y: usize| y * nx + x;
+    for y in 0..nx {
+        for x in 0..nx {
+            let w = 10f64.powf(rng.gen_range(-6.0..6.0));
+            if x + 1 < nx {
+                b.add_edge(id(x, y), id(x + 1, y), w);
+            }
+            if y + 1 < nx {
+                b.add_edge(id(x, y), id(x, y + 1), w * rng.gen_range(0.5..2.0));
+            }
+        }
+    }
+    let g = b.build();
+    let sp = sparsify(&g, &SparsifyConfig::new(100.0).with_seed(2)).unwrap();
+    assert!(sp.graph().m() >= g.n() - 1);
+    // The sparsifier must still precondition a solve to high accuracy.
+    let lg = g.laplacian();
+    let prec = LaplacianPrec::new(
+        GroundedSolver::new(&sp.graph().laplacian(), Default::default()).unwrap(),
+    );
+    let mut rhs = vec![0.0; g.n()];
+    rhs[0] = 1.0;
+    rhs[g.n() - 1] = -1.0;
+    let (x, stats) =
+        pcg(&lg, &rhs, &prec, &PcgOptions { tol: 1e-8, max_iter: 20_000, ..Default::default() });
+    assert!(stats.converged, "{stats:?}");
+    assert!(lg.residual_norm(&x, &rhs) < 1e-6);
+}
+
+#[test]
+fn path_graph_has_no_off_tree_edges() {
+    let g = Graph::from_edges(50, &(0..49).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>())
+        .unwrap();
+    let sp = sparsify(&g, &SparsifyConfig::new(2.0)).unwrap();
+    // A tree is its own perfect sparsifier: condition exactly 1.
+    assert!(sp.converged());
+    assert_eq!(sp.graph().m(), 49);
+    assert!((sp.condition_estimate() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn star_graph_with_huge_hub() {
+    // Star with one hub: every edge is a bridge (tree edge); sparsifier
+    // must keep all of them regardless of sigma^2.
+    let n = 200;
+    let edges: Vec<(usize, usize, f64)> = (1..n).map(|i| (0, i, (i as f64).exp().min(1e12))).collect();
+    let g = Graph::from_edges(n, &edges).unwrap();
+    let sp = sparsify(&g, &SparsifyConfig::new(10.0)).unwrap();
+    assert_eq!(sp.graph().m(), n - 1);
+    assert!(sp.converged());
+}
+
+#[test]
+fn complete_graph_sparsifies_aggressively() {
+    // K_40: 780 edges; a sigma^2 = 100 sparsifier should drop most.
+    let mut b = GraphBuilder::new(40);
+    for u in 0..40 {
+        for v in (u + 1)..40 {
+            b.add_edge(u, v, 1.0);
+        }
+    }
+    let g = b.build();
+    let sp = sparsify(&g, &SparsifyConfig::new(100.0)).unwrap();
+    assert!(sp.converged());
+    assert!(
+        sp.graph().m() < g.m() / 2,
+        "kept {} of {} edges",
+        sp.graph().m(),
+        g.m()
+    );
+}
+
+#[test]
+fn sigma2_just_above_one_keeps_almost_everything() {
+    let g = sass::graph::generators::fem_mesh2d(10, 10, 3);
+    let sp = sparsify(&g, &SparsifyConfig::new(1.05).with_max_rounds(60)).unwrap();
+    // Such a tight target forces nearly the full graph back.
+    assert!(
+        sp.graph().m() as f64 > 0.8 * g.m() as f64,
+        "kept only {} of {}",
+        sp.graph().m(),
+        g.m()
+    );
+}
+
+#[test]
+fn two_vertex_graph() {
+    let g = Graph::from_edges(2, &[(0, 1, 3.0)]).unwrap();
+    let sp = sparsify(&g, &SparsifyConfig::new(5.0)).unwrap();
+    assert!(sp.converged());
+    assert_eq!(sp.graph().m(), 1);
+}
+
+#[test]
+fn invalid_configs_are_rejected_cleanly() {
+    let g = sass::graph::generators::grid2d(
+        4,
+        4,
+        sass::graph::generators::WeightModel::Unit,
+        0,
+    );
+    for bad in [0.0, 1.0, -5.0, f64::NAN] {
+        assert!(
+            matches!(
+                sparsify(&g, &SparsifyConfig::new(bad)),
+                Err(CoreError::InvalidConfig { .. })
+            ),
+            "sigma2 = {bad} accepted"
+        );
+    }
+    let mut c = SparsifyConfig::new(10.0);
+    c.t_steps = 0;
+    assert!(matches!(sparsify(&g, &c), Err(CoreError::InvalidConfig { .. })));
+    let mut c = SparsifyConfig::new(10.0);
+    c.max_add_frac = f64::NAN;
+    assert!(matches!(sparsify(&g, &c), Err(CoreError::InvalidConfig { .. })));
+}
+
+#[test]
+fn parallel_edge_heavy_input() {
+    // Builder merges parallel edges; hammer it with duplicates.
+    let mut b = GraphBuilder::new(10);
+    for _ in 0..50 {
+        for i in 0..9 {
+            b.add_edge(i, i + 1, 0.02);
+            b.add_edge(i + 1, i, 0.02); // reversed duplicates too
+        }
+    }
+    b.add_edge(0, 9, 0.5);
+    let g = b.build();
+    assert_eq!(g.m(), 10);
+    assert!((g.edge(0).weight - 2.0).abs() < 1e-12);
+    let sp = sparsify(&g, &SparsifyConfig::new(50.0)).unwrap();
+    assert!(sp.converged());
+}
+
+#[test]
+fn near_disconnected_bridge_graph() {
+    // Two dense blobs joined by one weak bridge: the bridge must survive.
+    let mut b = GraphBuilder::new(40);
+    for u in 0..20 {
+        for v in (u + 1)..20 {
+            b.add_edge(u, v, 1.0);
+            b.add_edge(u + 20, v + 20, 1.0);
+        }
+    }
+    b.add_edge(5, 25, 1e-6);
+    let g = b.build();
+    let sp = sparsify(&g, &SparsifyConfig::new(50.0)).unwrap();
+    assert!(sp.graph().find_edge(5, 25).is_some(), "bridge edge dropped");
+    assert!(sass::graph::traverse::is_connected(sp.graph()));
+}
+
+#[test]
+fn deterministic_across_repeated_runs() {
+    let g = sass::graph::generators::circuit_grid(16, 16, 0.2, 9);
+    let cfg = SparsifyConfig::new(60.0).with_seed(123);
+    let runs: Vec<Vec<u32>> = (0..3).map(|_| sparsify(&g, &cfg).unwrap().edge_ids()).collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+}

@@ -1,0 +1,118 @@
+//! Certification tests: the sparsifier's *actual* generalized spectrum
+//! (computed by dense eigensolvers, independent of the estimators used
+//! inside the algorithm) satisfies the paper's claims.
+
+use sass::core::{sparsify, SimilarityPolicy, SparsifyConfig};
+use sass::eigen::pencil::dense_generalized_eigenvalues;
+use sass::graph::generators as gen;
+use sass::graph::Graph;
+
+/// Exact condition number of the pencil (L_G, L_P) via dense reduction.
+fn exact_condition(g: &Graph, p: &Graph) -> f64 {
+    let vals = dense_generalized_eigenvalues(&g.laplacian(), &p.laplacian()).unwrap();
+    vals.last().unwrap() / vals.first().unwrap()
+}
+
+#[test]
+fn sigma2_certified_on_mesh() {
+    let g = gen::fem_mesh2d(10, 10, 1);
+    for sigma2 in [20.0, 60.0] {
+        let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_seed(2)).unwrap();
+        let exact = exact_condition(&g, sp.graph());
+        // The algorithm certifies with estimates (lambda_max is a lower
+        // bound), so allow 2x slack on the exact value.
+        assert!(
+            exact <= 2.0 * sigma2,
+            "sigma2 = {sigma2}: exact condition {exact} too large"
+        );
+    }
+}
+
+#[test]
+fn sigma2_certified_on_circuit() {
+    let g = gen::circuit_grid(12, 12, 0.2, 3);
+    let sigma2 = 30.0;
+    let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_seed(4)).unwrap();
+    let exact = exact_condition(&g, sp.graph());
+    assert!(exact <= 2.0 * sigma2, "exact condition {exact}");
+}
+
+#[test]
+fn all_generalized_eigenvalues_at_least_one() {
+    // Subgraph sparsifiers satisfy x'L_P x <= x'L_G x for all x.
+    let g = gen::fem_mesh2d(8, 8, 5);
+    let sp = sparsify(&g, &SparsifyConfig::new(40.0)).unwrap();
+    let vals = dense_generalized_eigenvalues(&g.laplacian(), &sp.graph().laplacian()).unwrap();
+    for v in &vals {
+        assert!(*v >= 1.0 - 1e-9, "generalized eigenvalue {v} below 1");
+    }
+}
+
+#[test]
+fn densification_reduces_exact_condition_monotonically_in_target() {
+    let g = gen::circuit_grid(10, 10, 0.25, 7);
+    let loose = sparsify(&g, &SparsifyConfig::new(200.0).with_seed(1)).unwrap();
+    let tight = sparsify(&g, &SparsifyConfig::new(10.0).with_seed(1)).unwrap();
+    let k_loose = exact_condition(&g, loose.graph());
+    let k_tight = exact_condition(&g, tight.graph());
+    assert!(
+        k_tight < k_loose,
+        "tight target {k_tight} not below loose target {k_loose}"
+    );
+}
+
+#[test]
+fn quadratic_form_dominance_on_random_vectors() {
+    use rand::{Rng, SeedableRng};
+    let g = gen::fem_mesh2d(12, 12, 9);
+    let sp = sparsify(&g, &SparsifyConfig::new(50.0)).unwrap();
+    let lg = g.laplacian();
+    let lp = sp.graph().laplacian();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    for _ in 0..50 {
+        let x: Vec<f64> = (0..g.n()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let qg = lg.quad_form(&x);
+        let qp = lp.quad_form(&x);
+        assert!(qp <= qg + 1e-9 * qg.abs(), "x'L_P x = {qp} exceeds x'L_G x = {qg}");
+    }
+}
+
+#[test]
+fn estimates_bracket_exact_extremes() {
+    // lambda_max estimate <= exact max; lambda_min estimate >= exact min.
+    let g = gen::fem_mesh2d(9, 9, 11);
+    let sp = sparsify(&g, &SparsifyConfig::new(25.0).with_seed(6)).unwrap();
+    let last = sp.rounds().last().unwrap();
+    let vals = dense_generalized_eigenvalues(&g.laplacian(), &sp.graph().laplacian()).unwrap();
+    assert!(last.lambda_max <= *vals.last().unwrap() + 1e-6);
+    assert!(last.lambda_min >= vals[0] - 1e-6);
+}
+
+#[test]
+fn every_similarity_policy_certifies() {
+    let g = gen::circuit_grid(10, 10, 0.2, 13);
+    let sigma2 = 40.0;
+    for policy in [
+        SimilarityPolicy::None,
+        SimilarityPolicy::EndpointMark,
+        SimilarityPolicy::PathOverlap { max_overlap: 0.5 },
+    ] {
+        let sp =
+            sparsify(&g, &SparsifyConfig::new(sigma2).with_similarity(policy).with_seed(3))
+                .unwrap();
+        let exact = exact_condition(&g, sp.graph());
+        assert!(exact <= 2.0 * sigma2, "{policy:?}: exact condition {exact}");
+    }
+}
+
+#[test]
+fn every_tree_kind_certifies() {
+    use sass::graph::spanning::TreeKind;
+    let g = gen::fem_mesh2d(9, 9, 15);
+    let sigma2 = 40.0;
+    for tree in [TreeKind::MaxWeight, TreeKind::Akpw, TreeKind::Bfs, TreeKind::Random(3)] {
+        let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_tree(tree).with_seed(4)).unwrap();
+        let exact = exact_condition(&g, sp.graph());
+        assert!(exact <= 2.0 * sigma2, "{tree:?}: exact condition {exact}");
+    }
+}

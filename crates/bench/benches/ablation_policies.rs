@@ -18,9 +18,14 @@ fn bench_policies(c: &mut Criterion) {
     for (name, policy) in [
         ("sim_none", SimilarityPolicy::None),
         ("sim_endpoint", SimilarityPolicy::EndpointMark),
-        ("sim_path", SimilarityPolicy::PathOverlap { max_overlap: 0.5 }),
+        (
+            "sim_path",
+            SimilarityPolicy::PathOverlap { max_overlap: 0.5 },
+        ),
     ] {
-        let cfg = SparsifyConfig::new(80.0).with_similarity(policy).with_seed(2);
+        let cfg = SparsifyConfig::new(80.0)
+            .with_similarity(policy)
+            .with_seed(2);
         let sp = sparsify(&g, &cfg).unwrap();
         eprintln!(
             "[ablation] policy {name}: {} edges, {} rounds, cond {:.1}",

@@ -27,7 +27,11 @@ fn bench_preconditioners(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut b: Vec<f64> = (0..g.n()).map(|_| rng.gen_range(-1.0..1.0)).collect();
     dense::center(&mut b);
-    let opts = PcgOptions { tol: 1e-8, max_iter: 100_000, ..Default::default() };
+    let opts = PcgOptions {
+        tol: 1e-8,
+        max_iter: 100_000,
+        ..Default::default()
+    };
 
     let tree_ids = spanning::max_weight_spanning_tree(&g).unwrap();
     let tree = RootedTree::new(&g, tree_ids, 0).unwrap();

@@ -25,9 +25,8 @@ fn bench_table2(c: &mut Criterion) {
             // which is what the paper's Nσ² column measures.
             let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_seed(1)).unwrap();
             let lp = sp.graph().laplacian();
-            let prec = LaplacianPrec::new(
-                GroundedSolver::new(&lp, OrderingKind::MinDegree).unwrap(),
-            );
+            let prec =
+                LaplacianPrec::new(GroundedSolver::new(&lp, OrderingKind::MinDegree).unwrap());
             let lg = g.laplacian();
             let mut rng = StdRng::seed_from_u64(2);
             let mut rhs: Vec<f64> = (0..g.n()).map(|_| rng.gen_range(-1.0..1.0)).collect();

@@ -12,7 +12,10 @@ fn bench_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_partition");
     group.sample_size(10);
     let cases = vec![
-        ("mesh-60", grid2d(60, 60, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 35)),
+        (
+            "mesh-60",
+            grid2d(60, 60, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 35),
+        ),
         ("circuit-50", circuit_grid(50, 50, 0.1, 31)),
     ];
     for (name, g) in cases {
@@ -21,7 +24,9 @@ fn bench_partition(c: &mut Criterion) {
                 partition(
                     &g,
                     &PartitionOptions {
-                        backend: Backend::Direct { ordering: OrderingKind::NestedDissection },
+                        backend: Backend::Direct {
+                            ordering: OrderingKind::NestedDissection,
+                        },
                         ..Default::default()
                     },
                 )
@@ -35,7 +40,10 @@ fn bench_partition(c: &mut Criterion) {
                     &PartitionOptions {
                         backend: Backend::Sparsified {
                             config: SparsifyConfig::new(200.0).with_seed(5),
-                            pcg: PcgOptions { tol: 1e-6, ..Default::default() },
+                            pcg: PcgOptions {
+                                tol: 1e-6,
+                                ..Default::default()
+                            },
                         },
                         ..Default::default()
                     },

@@ -18,17 +18,23 @@ fn bench_networks(c: &mut Criterion) {
         let sp = sparsify(&g, &SparsifyConfig::new(100.0).with_seed(3)).unwrap();
         let lg = g.laplacian();
         let lp = sp.graph().laplacian();
-        let opts = LanczosOptions { max_dim: 150, tol: 1e-6, seed: 4 };
+        let opts = LanczosOptions {
+            max_dim: 150,
+            tol: 1e-6,
+            seed: 4,
+        };
         group.bench_with_input(BenchmarkId::new("eig10_original", w.name), &(), |b, ()| {
-            b.iter(|| {
-                lanczos_smallest_laplacian(&lg, 10, OrderingKind::MinDegree, &opts).unwrap()
-            })
+            b.iter(|| lanczos_smallest_laplacian(&lg, 10, OrderingKind::MinDegree, &opts).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("eig10_sparsified", w.name), &(), |b, ()| {
-            b.iter(|| {
-                lanczos_smallest_laplacian(&lp, 10, OrderingKind::MinDegree, &opts).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("eig10_sparsified", w.name),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    lanczos_smallest_laplacian(&lp, 10, OrderingKind::MinDegree, &opts).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -19,8 +19,8 @@ use sass_sparse::dense;
 use sass_sparse::ordering::OrderingKind;
 
 fn exact_kappa(g: &Graph, p: &Graph) -> f64 {
-    let vals = dense_generalized_eigenvalues(&g.laplacian(), &p.laplacian())
-        .expect("dense eigensolve");
+    let vals =
+        dense_generalized_eigenvalues(&g.laplacian(), &p.laplacian()).expect("dense eigensolve");
     vals.last().unwrap() / vals.first().unwrap()
 }
 
@@ -31,15 +31,18 @@ fn preconditioner_ladder() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut b: Vec<f64> = (0..g.n()).map(|_| rng.gen_range(-1.0..1.0)).collect();
     dense::center(&mut b);
-    let opts = PcgOptions { tol: 1e-8, max_iter: 100_000, ..Default::default() };
+    let opts = PcgOptions {
+        tol: 1e-8,
+        max_iter: 100_000,
+        ..Default::default()
+    };
 
     let tree_ids = spanning::max_weight_spanning_tree(&g).unwrap();
     let tree = RootedTree::new(&g, tree_ids, 0).unwrap();
     let tree_prec = TreePrec::new(TreeSolver::new(&g, &tree));
     let jacobi = JacobiPrec::new(&l);
     let (amg, t_amg) = timeit(|| AmgPrec::new(&l, &Default::default()).unwrap());
-    let (sp50, t_sp50) =
-        timeit(|| sparsify(&g, &SparsifyConfig::new(50.0).with_seed(2)).unwrap());
+    let (sp50, t_sp50) = timeit(|| sparsify(&g, &SparsifyConfig::new(50.0).with_seed(2)).unwrap());
     let prec50 = LaplacianPrec::new(
         GroundedSolver::new(&sp50.graph().laplacian(), OrderingKind::MinDegree).unwrap(),
     );
@@ -48,14 +51,18 @@ fn preconditioner_ladder() {
     let prec200 = LaplacianPrec::new(
         GroundedSolver::new(&sp200.graph().laplacian(), OrderingKind::MinDegree).unwrap(),
     );
-    let (exact, t_exact) = timeit(|| {
-        LaplacianPrec::new(GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap())
-    });
+    let (exact, t_exact) =
+        timeit(|| LaplacianPrec::new(GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap()));
 
     let mut table = Table::new(["preconditioner", "setup", "PCG iters", "solve time"]);
     let mut run = |name: &str, setup: String, prec: &dyn Preconditioner| {
         let ((_, stats), t) = timeit(|| pcg(&l, &b, prec, &opts));
-        table.row([name.to_string(), setup, stats.iterations.to_string(), fmt_secs(t)]);
+        table.row([
+            name.to_string(),
+            setup,
+            stats.iterations.to_string(),
+            fmt_secs(t),
+        ]);
     };
     run("identity", "-".into(), &IdentityPrec);
     run("jacobi", "-".into(), &jacobi);
@@ -108,9 +115,17 @@ fn knob_sweeps() {
     for (name, policy) in [
         ("policy=none", SimilarityPolicy::None),
         ("policy=endpoint", SimilarityPolicy::EndpointMark),
-        ("policy=path-overlap", SimilarityPolicy::PathOverlap { max_overlap: 0.5 }),
+        (
+            "policy=path-overlap",
+            SimilarityPolicy::PathOverlap { max_overlap: 0.5 },
+        ),
     ] {
-        run(name, SparsifyConfig::new(80.0).with_similarity(policy).with_seed(2));
+        run(
+            name,
+            SparsifyConfig::new(80.0)
+                .with_similarity(policy)
+                .with_seed(2),
+        );
     }
     for (name, tree) in [
         ("tree=max-weight", TreeKind::MaxWeight),

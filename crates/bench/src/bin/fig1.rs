@@ -27,11 +27,13 @@ fn main() {
         t_sp
     );
 
-    let (coords_g, t_g) =
-        timeit(|| spectral_coordinates(&g.laplacian(), 2).expect("drawing of G"));
+    let (coords_g, t_g) = timeit(|| spectral_coordinates(&g.laplacian(), 2).expect("drawing of G"));
     let (coords_p, t_p) =
         timeit(|| spectral_coordinates(&sp.graph().laplacian(), 2).expect("drawing of P"));
-    eprintln!("  eigensolves: original {:.2?}, sparsifier {:.2?}", t_g, t_p);
+    eprintln!(
+        "  eigensolves: original {:.2?}, sparsifier {:.2?}",
+        t_g, t_p
+    );
 
     println!("original graph G:");
     println!("{}", ascii_scatter(&coords_g, 72, 24));
@@ -42,7 +44,10 @@ fn main() {
     for d in 0..2 {
         let a: Vec<f64> = coords_g.iter().map(|c| c[d]).collect();
         let b: Vec<f64> = coords_p.iter().map(|c| c[d]).collect();
-        table.row([format!("u{}", d + 2), format!("{:.4}", drawing_correlation(&a, &b))]);
+        table.row([
+            format!("u{}", d + 2),
+            format!("{:.4}", drawing_correlation(&a, &b)),
+        ]);
     }
     println!("{}", table.render());
 

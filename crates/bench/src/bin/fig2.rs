@@ -28,8 +28,7 @@ fn main() {
         let rooted = RootedTree::new(g, tree_ids.clone(), 0).expect("rooted");
         let off = rooted.off_tree_edges(g);
         let p = g.subgraph_with_edges(tree_ids);
-        let solver =
-            GroundedSolver::new(&p.laplacian(), OrderingKind::MinDegree).expect("factor");
+        let solver = GroundedSolver::new(&p.laplacian(), OrderingKind::MinDegree).expect("factor");
         // One-step power iteration as in the paper's figure; several probes.
         let heat = off_tree_heat(g, &off, &g.laplacian(), &solver, 1, 12, 77);
         let mut theta = heat.normalized();
@@ -47,8 +46,16 @@ fn main() {
         let k500 = (2 * g.n() / 500).max(1).min(theta.len() - 1);
         let k100 = (2 * g.n() / 100).max(1).min(theta.len() - 1);
         let mut table = Table::new(["budget", "edges kept", "heat threshold"]);
-        table.row(["2|V|/500".to_string(), k500.to_string(), format!("{:.3e}", theta[k500])]);
-        table.row(["2|V|/100".to_string(), k100.to_string(), format!("{:.3e}", theta[k100])]);
+        table.row([
+            "2|V|/500".to_string(),
+            k500.to_string(),
+            format!("{:.3e}", theta[k500]),
+        ]);
+        table.row([
+            "2|V|/100".to_string(),
+            k100.to_string(),
+            format!("{:.3e}", theta[k100]),
+        ]);
         println!("{}", table.render());
 
         // ASCII decay plot: log10(theta) for the top 400 edges.
@@ -71,8 +78,7 @@ fn main() {
         }
         println!("  +{}", "-".repeat(width));
 
-        let out =
-            std::env::temp_dir().join(format!("sass_fig2_{}.csv", w.name.replace('/', "_")));
+        let out = std::env::temp_dir().join(format!("sass_fig2_{}.csv", w.name.replace('/', "_")));
         let mut f = std::fs::File::create(&out).expect("create csv");
         writeln!(f, "rank,normalized_heat").unwrap();
         for (i, t) in theta.iter().enumerate() {

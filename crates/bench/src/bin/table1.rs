@@ -23,8 +23,18 @@ fn main() {
     println!("Table 1: extreme generalized eigenvalue estimation");
     println!("(sparsifier P = maximum-weight spanning tree; exact = dense generalized eig)\n");
     let mut table = Table::new([
-        "case", "paper-case", "|V|", "|E|", "lmin", "~lmin", "err%", "~lmin*", "err*%", "lmax",
-        "~lmax", "err%",
+        "case",
+        "paper-case",
+        "|V|",
+        "|E|",
+        "lmin",
+        "~lmin",
+        "err%",
+        "~lmin*",
+        "err*%",
+        "lmax",
+        "~lmax",
+        "err%",
     ]);
     for w in table1_cases() {
         let g = &w.graph;
@@ -67,6 +77,8 @@ fn main() {
     println!("{}", table.render());
     println!("expected shape: ~lmin >= lmin (upper bound), ~lmax <= lmax (lower bound),");
     println!("lmax errors of a few percent with <= 10 power iterations (paper: 2.0-6.1%),");
-    println!("lmin errors usually below ~15% (paper: 4.3-10.5%). ~lmin* is our extension:
-the greedy set-grown Eq. 17 bound, never worse than the single-vertex Eq. 18.");
+    println!(
+        "lmin errors usually below ~15% (paper: 4.3-10.5%). ~lmin* is our extension:
+the greedy set-grown Eq. 17 bound, never worse than the single-vertex Eq. 18."
+    );
 }

@@ -33,7 +33,10 @@ fn solve_with_sigma(g: &Graph, sigma2: f64, seed: u64) -> (f64, usize, std::time
     let mut b: Vec<f64> = (0..g.n()).map(|_| rng.gen_range(-1.0..1.0)).collect();
     dense::center(&mut b);
     let (_, stats) = pcg(&lg, &b, &prec, &PcgOptions::paper_accuracy());
-    assert!(stats.converged, "PCG failed to converge at sigma2 = {sigma2}");
+    assert!(
+        stats.converged,
+        "PCG failed to converge at sigma2 = {sigma2}"
+    );
     (sp.density(), stats.iterations, t_sparsify)
 }
 
@@ -41,7 +44,15 @@ fn main() {
     println!("Table 2: iterative SDD matrix solver with similarity-aware sparsifiers");
     println!("(PCG to ||Ax-b|| < 1e-3 ||b||, random b, as in the paper)\n");
     let mut table = Table::new([
-        "case", "paper-case", "|V|", "|E|", "|E50|/|V|", "N50", "T50", "|E200|/|V|", "N200",
+        "case",
+        "paper-case",
+        "|V|",
+        "|E|",
+        "|E50|/|V|",
+        "N50",
+        "T50",
+        "|E200|/|V|",
+        "N200",
         "T200",
     ]);
     for w in table2_cases() {

@@ -26,18 +26,30 @@ fn main() {
     println!("Table 3: spectral graph partitioning, direct vs sparsifier-accelerated");
     println!("(sign cut of the approximate Fiedler vector; sigma^2 <= 200)\n");
     let mut table = Table::new([
-        "case", "paper-case", "|V|", "|V+|/|V-|", "TD (MD)", "TI (MI)", "Rel.Err.",
+        "case",
+        "paper-case",
+        "|V|",
+        "|V+|/|V-|",
+        "TD (MD)",
+        "TI (MI)",
+        "Rel.Err.",
     ]);
     // "A few inverse power iterations" (paper §4.3): both backends get the
     // same budget; PCG inside the iterative backend solves to a moderate
     // tolerance and warm-starts from the previous step.
-    let fiedler = FiedlerOptions { max_iter: 20, tol: 1e-7, ..Default::default() };
+    let fiedler = FiedlerOptions {
+        max_iter: 20,
+        tol: 1e-7,
+        ..Default::default()
+    };
     for w in table3_cases() {
         let g = &w.graph;
         let direct = partition(
             g,
             &PartitionOptions {
-                backend: Backend::Direct { ordering: OrderingKind::NestedDissection },
+                backend: Backend::Direct {
+                    ordering: OrderingKind::NestedDissection,
+                },
                 fiedler: fiedler.clone(),
                 ..Default::default()
             },
@@ -48,7 +60,10 @@ fn main() {
             &PartitionOptions {
                 backend: Backend::Sparsified {
                     config: SparsifyConfig::new(200.0).with_seed(5),
-                    pcg: PcgOptions { tol: 1e-5, ..Default::default() },
+                    pcg: PcgOptions {
+                        tol: 1e-5,
+                        ..Default::default()
+                    },
                 },
                 fiedler: fiedler.clone(),
                 ..Default::default()
@@ -73,7 +88,10 @@ fn main() {
             ),
             format!("{rel_err:.1e}"),
         ]);
-        eprintln!("  [{}] done (iterative PCG iterations: {})", w.name, iterative.pcg_iterations);
+        eprintln!(
+            "  [{}] done (iterative PCG iterations: {})",
+            w.name, iterative.pcg_iterations
+        );
     }
     println!("{}", table.render());
     println!("notes: TI excludes sparsification time, matching the paper's convention;");

@@ -24,7 +24,15 @@ use sass_sparse::ordering::OrderingKind;
 fn main() {
     println!("Table 4: complex-network sparsification at sigma^2 ~ 100\n");
     let mut table = Table::new([
-        "case", "paper-case", "|V|", "|E|", "Ttot", "|E|/|Es|", "l1/~l1", "Toeig", "Tseig",
+        "case",
+        "paper-case",
+        "|V|",
+        "|E|",
+        "Ttot",
+        "|E|/|Es|",
+        "l1/~l1",
+        "Toeig",
+        "Tseig",
     ]);
     for w in table4_cases() {
         let g = &w.graph;
@@ -45,13 +53,15 @@ fn main() {
         let drop = l1_tree / l1_sp;
 
         // First 10 nontrivial eigenvectors, original vs sparsified.
-        let opts = LanczosOptions { max_dim: 220, tol: 1e-6, seed: 4 };
-        let (res_o, t_oeig) = timeit(|| {
-            lanczos_smallest_laplacian(&lg, 10, OrderingKind::MinDegree, &opts)
-        });
-        let (res_s, t_seig) = timeit(|| {
-            lanczos_smallest_laplacian(&lp, 10, OrderingKind::MinDegree, &opts)
-        });
+        let opts = LanczosOptions {
+            max_dim: 220,
+            tol: 1e-6,
+            seed: 4,
+        };
+        let (res_o, t_oeig) =
+            timeit(|| lanczos_smallest_laplacian(&lg, 10, OrderingKind::MinDegree, &opts));
+        let (res_s, t_seig) =
+            timeit(|| lanczos_smallest_laplacian(&lp, 10, OrderingKind::MinDegree, &opts));
         let toeig = match res_o {
             Ok(_) => fmt_secs(t_oeig),
             Err(_) => "N/A".to_string(),

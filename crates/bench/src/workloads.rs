@@ -23,7 +23,11 @@ pub struct Workload {
 
 impl Workload {
     fn new(name: &'static str, paper_case: &'static str, graph: Graph) -> Self {
-        Workload { name, paper_case, graph }
+        Workload {
+            name,
+            paper_case,
+            graph,
+        }
     }
 }
 
@@ -32,9 +36,17 @@ impl Workload {
 pub fn table1_cases() -> Vec<Workload> {
     vec![
         Workload::new("fem3d-7", "fe_rotor", fem_mesh3d(7, 7, 7, 11)),
-        Workload::new("protein-400", "pdb1HYS", random_geometric3d(400, 0.16, true, 12)),
+        Workload::new(
+            "protein-400",
+            "pdb1HYS",
+            random_geometric3d(400, 0.16, true, 12),
+        ),
         Workload::new("fem2d-20", "bcsstk36", fem_mesh2d(20, 20, 13)),
-        Workload::new("grid3d-7", "brack2", grid3d(7, 7, 8, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 14)),
+        Workload::new(
+            "grid3d-7",
+            "brack2",
+            grid3d(7, 7, 8, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 14),
+        ),
         Workload::new("circuit-20", "raefsky3", circuit_grid(20, 20, 0.15, 15)),
     ]
 }
@@ -43,8 +55,16 @@ pub fn table1_cases() -> Vec<Workload> {
 pub fn table2_cases() -> Vec<Workload> {
     vec![
         Workload::new("circuit-180", "G3_circuit", circuit_grid(180, 180, 0.1, 21)),
-        Workload::new("thermal-190", "thermal2", grid2d(190, 170, WeightModel::LogUniform { lo: 0.1, hi: 10.0 }, 22)),
-        Workload::new("ecology-170", "ecology2", grid2d(170, 170, WeightModel::Unit, 23)),
+        Workload::new(
+            "thermal-190",
+            "thermal2",
+            grid2d(190, 170, WeightModel::LogUniform { lo: 0.1, hi: 10.0 }, 22),
+        ),
+        Workload::new(
+            "ecology-170",
+            "ecology2",
+            grid2d(170, 170, WeightModel::Unit, 23),
+        ),
         Workload::new("fem2d-150", "tmt_sym", fem_mesh2d(150, 150, 24)),
         Workload::new("fem2d-160x100", "parabolic_fem", fem_mesh2d(160, 100, 25)),
     ]
@@ -53,8 +73,16 @@ pub fn table2_cases() -> Vec<Workload> {
 /// Small-tier Table 2 cases for Criterion.
 pub fn table2_cases_small() -> Vec<Workload> {
     vec![
-        Workload::new("circuit-48", "G3_circuit (small)", circuit_grid(48, 48, 0.1, 21)),
-        Workload::new("ecology-48", "ecology2 (small)", grid2d(48, 48, WeightModel::Unit, 23)),
+        Workload::new(
+            "circuit-48",
+            "G3_circuit (small)",
+            circuit_grid(48, 48, 0.1, 21),
+        ),
+        Workload::new(
+            "ecology-48",
+            "ecology2 (small)",
+            grid2d(48, 48, WeightModel::Unit, 23),
+        ),
         Workload::new("fem2d-40", "parabolic_fem (small)", fem_mesh2d(40, 40, 25)),
     ]
 }
@@ -71,8 +99,16 @@ pub fn table2_cases_small() -> Vec<Workload> {
 pub fn table3_cases() -> Vec<Workload> {
     vec![
         Workload::new("circuit-120", "G3_circuit", circuit_grid(120, 120, 0.1, 31)),
-        Workload::new("thermal-130", "thermal2", grid2d(130, 120, WeightModel::LogUniform { lo: 0.1, hi: 10.0 }, 32)),
-        Workload::new("ecology-120", "ecology2", grid2d(120, 120, WeightModel::Unit, 33)),
+        Workload::new(
+            "thermal-130",
+            "thermal2",
+            grid2d(130, 120, WeightModel::LogUniform { lo: 0.1, hi: 10.0 }, 32),
+        ),
+        Workload::new(
+            "ecology-120",
+            "ecology2",
+            grid2d(120, 120, WeightModel::Unit, 33),
+        ),
         Workload::new("fem2d-110", "tmt_sym", fem_mesh2d(110, 110, 34)),
         Workload::new("mesh3d-22", "mesh 1M", fem_mesh3d(22, 22, 22, 35)),
         Workload::new("mesh3d-28", "mesh 4M", fem_mesh3d(28, 28, 28, 36)),
@@ -98,7 +134,11 @@ pub fn table4_cases_small() -> Vec<Workload> {
     vec![
         Workload::new("fem3d-10", "fe_tooth (small)", fem_mesh3d(10, 10, 10, 41)),
         Workload::new("random-800", "appu (small)", dense_random(800, 8_000, 42)),
-        Workload::new("ba-3k", "coAuthorsDBLP (small)", barabasi_albert(3_000, 3, 43)),
+        Workload::new(
+            "ba-3k",
+            "coAuthorsDBLP (small)",
+            barabasi_albert(3_000, 3, 43),
+        ),
         Workload::new("knn-1.5k", "RCV-80NN (small)", knn_graph(&knn_points, 10)),
     ]
 }
@@ -112,7 +152,11 @@ pub fn fig1_case() -> (Graph, Vec<[f64; 2]>) {
 pub fn fig2_cases() -> Vec<Workload> {
     vec![
         Workload::new("circuit-60", "G2_circuit", circuit_grid(60, 60, 0.12, 61)),
-        Workload::new("thermal-60", "Thermal1", grid2d(60, 60, WeightModel::LogUniform { lo: 0.2, hi: 5.0 }, 62)),
+        Workload::new(
+            "thermal-60",
+            "Thermal1",
+            grid2d(60, 60, WeightModel::LogUniform { lo: 0.2, hi: 5.0 }, 62),
+        ),
     ]
 }
 

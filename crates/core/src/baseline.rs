@@ -128,14 +128,21 @@ pub struct SsConfig {
 
 impl Default for SsConfig {
     fn default() -> Self {
-        SsConfig { samples: 0, jl_dims: 32, seed: 0x55aa }
+        SsConfig {
+            samples: 0,
+            jl_dims: 32,
+            seed: 0x55aa,
+        }
     }
 }
 
 impl SsConfig {
     /// `samples = factor · n` for a graph with `n` vertices.
     pub fn with_sample_factor(n: usize, factor: f64) -> Self {
-        SsConfig { samples: ((n as f64 * factor).ceil() as usize).max(1), ..Default::default() }
+        SsConfig {
+            samples: ((n as f64 * factor).ceil() as usize).max(1),
+            ..Default::default()
+        }
     }
 }
 
@@ -161,8 +168,12 @@ pub fn spielman_srivastava(g: &Graph, config: &SsConfig) -> Result<Graph> {
     let r_est = effective_resistances_jl(g, &solver, config.jl_dims, config.seed)?;
 
     // Leverage-score distribution.
-    let scores: Vec<f64> =
-        g.edges().iter().zip(&r_est).map(|(e, &r)| (e.weight * r).max(1e-300)).collect();
+    let scores: Vec<f64> = g
+        .edges()
+        .iter()
+        .zip(&r_est)
+        .map(|(e, &r)| (e.weight * r).max(1e-300))
+        .collect();
     let total: f64 = scores.iter().sum();
     let mut cdf = Vec::with_capacity(scores.len());
     let mut acc = 0.0;
@@ -197,7 +208,9 @@ pub fn spielman_srivastava(g: &Graph, config: &SsConfig) -> Result<Graph> {
     // with mean-weight links so downstream solvers stay usable while the
     // spectral penalty of the failure remains visible.
     let patch_w = if kept > 0 { total_w / kept as f64 } else { 1.0 };
-    Ok(sass_graph::generators::connect_components(sparsified, patch_w))
+    Ok(sass_graph::generators::connect_components(
+        sparsified, patch_w,
+    ))
 }
 
 #[cfg(test)]
@@ -230,19 +243,25 @@ mod tests {
             assert!(*j > 0.3 * e && *j < 3.0 * e, "JL {j} vs exact {e}");
         }
         // Foster's sum should hold approximately for the JL estimates too.
-        let total: f64 = g.edges().iter().zip(&jl).map(|(e, &ri)| e.weight * ri).sum();
+        let total: f64 = g
+            .edges()
+            .iter()
+            .zip(&jl)
+            .map(|(e, &ri)| e.weight * ri)
+            .sum();
         let expect = g.n() as f64 - 1.0;
-        assert!((total - expect).abs() < 0.25 * expect, "JL Foster sum {total}");
+        assert!(
+            (total - expect).abs() < 0.25 * expect,
+            "JL Foster sum {total}"
+        );
     }
 
     #[test]
     fn tree_edges_have_unit_leverage() {
         // On a tree every edge has w_e R_eff(e) = 1.
-        let g = sass_graph::Graph::from_edges(
-            5,
-            &[(0, 1, 2.0), (1, 2, 0.5), (1, 3, 3.0), (3, 4, 1.0)],
-        )
-        .unwrap();
+        let g =
+            sass_graph::Graph::from_edges(5, &[(0, 1, 2.0), (1, 2, 0.5), (1, 3, 3.0), (3, 4, 1.0)])
+                .unwrap();
         let solver = GroundedSolver::new(&g.laplacian(), Default::default()).unwrap();
         let r = effective_resistances_exact(&g, &solver).unwrap();
         for (e, &ri) in g.edges().iter().zip(&r) {

@@ -67,7 +67,10 @@ pub fn sparsify(g: &Graph, config: &SparsifyConfig) -> Result<Sparsifier> {
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(config.sigma2 > 1.0) || !config.sigma2.is_finite() {
         return Err(CoreError::InvalidConfig {
-            context: format!("sigma2 must be a finite value above 1, got {}", config.sigma2),
+            context: format!(
+                "sigma2 must be a finite value above 1, got {}",
+                config.sigma2
+            ),
         });
     }
     if config.t_steps == 0 {
@@ -214,7 +217,10 @@ pub fn sparsify(g: &Graph, config: &SparsifyConfig) -> Result<Sparsifier> {
     // tree_ids comes back sorted from spanning_tree(); binary search keeps
     // this provenance split O(m log n) instead of O(m n).
     added.extend(
-        current.iter().copied().filter(|id| tree_ids.binary_search(id).is_err()),
+        current
+            .iter()
+            .copied()
+            .filter(|id| tree_ids.binary_search(id).is_err()),
     );
     Ok(Sparsifier {
         graph: g.subgraph_with_edges(current.iter().copied()),
@@ -241,8 +247,7 @@ mod tests {
         let sigma2 = 30.0;
         let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_seed(3)).unwrap();
         assert!(sp.converged());
-        let vals =
-            dense_generalized_eigenvalues(&g.laplacian(), &sp.graph().laplacian()).unwrap();
+        let vals = dense_generalized_eigenvalues(&g.laplacian(), &sp.graph().laplacian()).unwrap();
         let exact_cond = vals.last().unwrap() / vals.first().unwrap();
         // The estimates can understate the truth (λmax is a lower bound);
         // allow 2x slack on the certified target.
@@ -296,8 +301,7 @@ mod tests {
             sparsify(&g, &SparsifyConfig::new(0.5)),
             Err(CoreError::InvalidConfig { .. })
         ));
-        let disconnected =
-            Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let disconnected = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
         assert!(matches!(
             sparsify(&disconnected, &SparsifyConfig::new(100.0)),
             Err(CoreError::Graph(_))

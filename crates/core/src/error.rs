@@ -67,7 +67,9 @@ mod tests {
         let e: CoreError = sass_graph::GraphError::Disconnected { components: 2 }.into();
         assert!(e.to_string().contains("graph"));
         assert!(e.source().is_some());
-        let c = CoreError::InvalidConfig { context: "sigma2 must exceed 1".into() };
+        let c = CoreError::InvalidConfig {
+            context: "sigma2 must exceed 1".into(),
+        };
         assert!(c.to_string().contains("sigma2"));
     }
 }

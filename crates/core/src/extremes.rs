@@ -59,7 +59,11 @@ pub fn estimate_lambda_max(
 /// Panics if the slice length differs from `g.n()` or some sparsifier
 /// degree is zero (the sparsifier must be spanning).
 pub fn estimate_lambda_min(g: &Graph, p_weighted_degree: &[f64]) -> f64 {
-    assert_eq!(p_weighted_degree.len(), g.n(), "degree vector length mismatch");
+    assert_eq!(
+        p_weighted_degree.len(),
+        g.n(),
+        "degree vector length mismatch"
+    );
     let mut best = f64::INFINITY;
     for (v, &dp) in p_weighted_degree.iter().enumerate() {
         assert!(dp > 0.0, "sparsifier leaves vertex {v} isolated");
@@ -104,8 +108,7 @@ pub fn estimate_lambda_min_set(g: &Graph, p: &Graph, max_grow: usize) -> f64 {
     in_s[seed] = true;
     let mut cut_g = g.weighted_degree(seed);
     let mut cut_p = p.weighted_degree(seed);
-    let mut frontier: Vec<usize> =
-        g.neighbors(seed).map(|(nbr, _, _)| nbr as usize).collect();
+    let mut frontier: Vec<usize> = g.neighbors(seed).map(|(nbr, _, _)| nbr as usize).collect();
     for _ in 0..max_grow {
         let mut best_gain: Option<(usize, f64, f64, f64)> = None;
         for &v in &frontier {
@@ -193,7 +196,15 @@ pub fn verify_extremes(
     let lg = g.laplacian();
     let lp = p.laplacian();
     let solver = GroundedSolver::new(&lp, Default::default())?;
-    Ok(estimate_extremes(g, p, &lg, &lp, &solver, power_iters, seed))
+    Ok(estimate_extremes(
+        g,
+        p,
+        &lg,
+        &lp,
+        &solver,
+        power_iters,
+        seed,
+    ))
 }
 
 /// Convenience: both estimates for a sparsifier given as a subgraph `p`.
@@ -213,7 +224,10 @@ pub fn estimate_extremes(
     let lambda_max = estimate_lambda_max(lg, lp, solver_p, power_iters, seed);
     let degrees: Vec<f64> = (0..p.n()).map(|v| p.weighted_degree(v)).collect();
     let lambda_min = estimate_lambda_min(g, &degrees);
-    ExtremeEstimates { lambda_max, lambda_min }
+    ExtremeEstimates {
+        lambda_max,
+        lambda_min,
+    }
 }
 
 #[cfg(test)]
@@ -244,7 +258,10 @@ mod tests {
         );
         // Paper Table 1 reports errors around 4-11%; on small meshes the
         // bound should stay in the same ballpark (allow a loose factor).
-        assert!(est <= 2.0 * exact_min, "estimate {est} vs exact {exact_min}");
+        assert!(
+            est <= 2.0 * exact_min,
+            "estimate {est} vs exact {exact_min}"
+        );
     }
 
     #[test]
@@ -259,7 +276,10 @@ mod tests {
         let exact = *vals.last().unwrap();
         assert!(est <= exact + 1e-9);
         // Paper Table 1: λmax errors of 2-6% with <10 iterations.
-        assert!(est >= 0.85 * exact, "estimate {est} too far below exact {exact}");
+        assert!(
+            est >= 0.85 * exact,
+            "estimate {est} too far below exact {exact}"
+        );
     }
 
     #[test]
@@ -284,9 +304,16 @@ mod tests {
         let degrees: Vec<f64> = (0..p.n()).map(|v| p.weighted_degree(v)).collect();
         let single = estimate_lambda_min(&g, &degrees);
         let grown = estimate_lambda_min_set(&g, &p, 24);
-        assert!(grown <= single + 1e-12, "set bound {grown} worse than single {single}");
+        assert!(
+            grown <= single + 1e-12,
+            "set bound {grown} worse than single {single}"
+        );
         let vals = dense_generalized_eigenvalues(&g.laplacian(), &p.laplacian()).unwrap();
-        assert!(grown >= vals[0] - 1e-9, "set bound {grown} below exact {}", vals[0]);
+        assert!(
+            grown >= vals[0] - 1e-9,
+            "set bound {grown} below exact {}",
+            vals[0]
+        );
     }
 
     #[test]

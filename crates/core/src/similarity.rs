@@ -105,8 +105,7 @@ pub fn filter_similar(
                 };
                 walk(u);
                 walk(v);
-                let overlap =
-                    path.iter().filter(|&&pe| covered[pe as usize]).count() as f64;
+                let overlap = path.iter().filter(|&&pe| covered[pe as usize]).count() as f64;
                 if path.is_empty() || overlap / path.len() as f64 <= max_overlap {
                     for &pe in &path {
                         covered[pe as usize] = true;
@@ -161,7 +160,13 @@ mod tests {
     fn endpoint_mark_rejects_shared_endpoints() {
         let g = Graph::from_edges(
             4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 2, 1.0), (0, 3, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+            ],
         )
         .unwrap();
         let ids = spanning::bfs_spanning_tree(&g, 0).unwrap();
@@ -188,10 +193,20 @@ mod tests {
     fn path_overlap_zero_keeps_disjoint_paths() {
         let (g, tree, lca) = ladder();
         let cands = off_tree_candidates(&g, &tree);
-        let strict =
-            filter_similar(SimilarityPolicy::PathOverlap { max_overlap: 0.0 }, &g, &tree, &lca, &cands);
-        let lax =
-            filter_similar(SimilarityPolicy::PathOverlap { max_overlap: 1.0 }, &g, &tree, &lca, &cands);
+        let strict = filter_similar(
+            SimilarityPolicy::PathOverlap { max_overlap: 0.0 },
+            &g,
+            &tree,
+            &lca,
+            &cands,
+        );
+        let lax = filter_similar(
+            SimilarityPolicy::PathOverlap { max_overlap: 1.0 },
+            &g,
+            &tree,
+            &lca,
+            &cands,
+        );
         assert!(strict.len() <= lax.len());
         assert_eq!(lax.len(), cands.len());
         assert!(!strict.is_empty());

@@ -59,8 +59,12 @@ impl Sparsifier {
 
     /// Host-graph ids of all sparsifier edges (tree + recovered), sorted.
     pub fn edge_ids(&self) -> Vec<u32> {
-        let mut ids: Vec<u32> =
-            self.tree_edges.iter().chain(&self.added_edges).copied().collect();
+        let mut ids: Vec<u32> = self
+            .tree_edges
+            .iter()
+            .chain(&self.added_edges)
+            .copied()
+            .collect();
         ids.sort_unstable();
         ids
     }
@@ -115,7 +119,11 @@ impl std::fmt::Display for Sparsifier {
             self.added_edges.len(),
             self.config.sigma2,
             self.condition_estimate(),
-            if self.converged { "converged" } else { "NOT converged" },
+            if self.converged {
+                "converged"
+            } else {
+                "NOT converged"
+            },
         )?;
         writeln!(
             f,

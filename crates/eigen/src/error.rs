@@ -28,8 +28,14 @@ impl fmt::Display for EigenError {
         match self {
             EigenError::Solver(e) => write!(f, "solver error: {e}"),
             EigenError::Graph(e) => write!(f, "graph error: {e}"),
-            EigenError::NotConverged { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e})")
+            EigenError::NotConverged {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:.3e})"
+                )
             }
             EigenError::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
         }
@@ -64,7 +70,10 @@ mod tests {
 
     #[test]
     fn displays_and_sources() {
-        let e = EigenError::NotConverged { iterations: 10, residual: 0.5 };
+        let e = EigenError::NotConverged {
+            iterations: 10,
+            residual: 0.5,
+        };
         assert!(e.to_string().contains("10"));
         let s: EigenError = sass_solver::SolverError::GroundedSingular.into();
         assert!(s.source().is_some());

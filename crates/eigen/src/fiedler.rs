@@ -7,7 +7,7 @@
 //! **iteratively** (PCG preconditioned by a spectral sparsifier, the
 //! paper's accelerated method).
 
-use crate::{Result};
+use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sass_solver::{pcg, GroundedSolver, PcgOptions, Preconditioner};
@@ -28,7 +28,11 @@ pub struct FiedlerOptions {
 
 impl Default for FiedlerOptions {
     fn default() -> Self {
-        FiedlerOptions { max_iter: 60, tol: 1e-8, seed: 0xf1ed }
+        FiedlerOptions {
+            max_iter: 60,
+            tol: 1e-8,
+            seed: 0xf1ed,
+        }
     }
 }
 
@@ -146,11 +150,9 @@ mod tests {
 
     #[test]
     fn path_graph_lambda2_is_analytic() {
-        let g = sass_graph::Graph::from_edges(
-            10,
-            &(0..9).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let g =
+            sass_graph::Graph::from_edges(10, &(0..9).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>())
+                .unwrap();
         let (l2, v) =
             fiedler_vector_direct(&g.laplacian(), OrderingKind::Natural, &Default::default())
                 .unwrap();
@@ -169,8 +171,7 @@ mod tests {
             fiedler_vector_direct(&g.laplacian(), OrderingKind::MinDegree, &Default::default())
                 .unwrap();
         // Count sign agreement with the planted partition (up to flip).
-        let planted: Vec<f64> =
-            (0..60).map(|i| if i < 30 { 1.0 } else { -1.0 }).collect();
+        let planted: Vec<f64> = (0..60).map(|i| if i < 30 { 1.0 } else { -1.0 }).collect();
         let err = sign_disagreement(&v, &planted);
         assert!(err < 0.1, "community recovery error {err}");
     }
@@ -194,8 +195,7 @@ mod tests {
         let g = grid2d(6, 6, WeightModel::Unit, 1);
         let l = g.laplacian();
         let prec = JacobiPrec::new(&l);
-        let (l2, _, _) =
-            fiedler_vector_pcg(&l, &prec, &PcgOptions::default(), &Default::default());
+        let (l2, _, _) = fiedler_vector_pcg(&l, &prec, &PcgOptions::default(), &Default::default());
         let (l2_ref, _) =
             fiedler_vector_direct(&l, OrderingKind::MinDegree, &Default::default()).unwrap();
         assert!((l2 - l2_ref).abs() < 1e-6);
@@ -205,6 +205,9 @@ mod tests {
     fn sign_disagreement_metric() {
         assert_eq!(sign_disagreement(&[1.0, -1.0], &[1.0, -1.0]), 0.0);
         assert_eq!(sign_disagreement(&[1.0, -1.0], &[-1.0, 1.0]), 0.0); // global flip
-        assert_eq!(sign_disagreement(&[1.0, 1.0, 1.0, -1.0], &[1.0, 1.0, 1.0, 1.0]), 0.25);
+        assert_eq!(
+            sign_disagreement(&[1.0, 1.0, 1.0, -1.0], &[1.0, 1.0, 1.0, 1.0]),
+            0.25
+        );
     }
 }

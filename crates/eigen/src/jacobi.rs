@@ -144,7 +144,11 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_is_its_own_spectrum() {
-        let a = vec![vec![3.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 2.0]];
+        let a = vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ];
         let (vals, vecs) = dense_symmetric_eig(&a).unwrap();
         assert_eq!(vals.len(), 3);
         assert!((vals[0] - 1.0).abs() < 1e-12);
@@ -157,11 +161,8 @@ mod tests {
     #[test]
     fn path_laplacian_matches_analytic_spectrum() {
         let n = 9;
-        let g = Graph::from_edges(
-            n,
-            &(0..n - 1).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>()).unwrap();
         let (vals, _) = dense_symmetric_eig(&csr_to_dense(&g.laplacian())).unwrap();
         for (k, &v) in vals.iter().enumerate() {
             let exact = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();

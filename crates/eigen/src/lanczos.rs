@@ -15,9 +15,10 @@ use crate::tridiag::tridiagonal_eig;
 use crate::{EigenError, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sass_solver::{GroundedSolver, LinearOperator};
+use sass_solver::{GroundedScratch, GroundedSolver};
 use sass_sparse::ordering::OrderingKind;
-use sass_sparse::{dense, CsrMatrix};
+use sass_sparse::{dense, CsrMatrix, LinearOperator};
+use std::cell::RefCell;
 
 /// Options for a Lanczos run.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +33,11 @@ pub struct LanczosOptions {
 
 impl Default for LanczosOptions {
     fn default() -> Self {
-        LanczosOptions { max_dim: 300, tol: 1e-9, seed: 0x1a2b }
+        LanczosOptions {
+            max_dim: 300,
+            tol: 1e-9,
+            seed: 0x1a2b,
+        }
     }
 }
 
@@ -87,7 +92,11 @@ where
     A: LinearOperator + ?Sized,
 {
     let n = op.dim();
-    let avail = if deflate_constant { n.saturating_sub(1) } else { n };
+    let avail = if deflate_constant {
+        n.saturating_sub(1)
+    } else {
+        n
+    };
     if k == 0 || k > avail {
         return Err(EigenError::InvalidParameter {
             context: format!("requested {k} eigenpairs from effective dimension {avail}"),
@@ -161,10 +170,11 @@ where
             continue;
         }
         betas.push(beta);
-        let mut v_next = std::mem::take(&mut w);
-        dense::scale(1.0 / beta, &mut v_next);
-        vs.push(v_next);
-        w = vec![0.0; n];
+        // Push the normalized copy into the basis and keep `w` as the
+        // persistent apply buffer — the only per-step allocation is the
+        // stored Krylov vector itself.
+        let inv_beta = 1.0 / beta;
+        vs.push(w.iter().map(|&wi| wi * inv_beta).collect());
     }
     if ritz.0.is_empty() {
         let (tvals, tvecs) = tridiagonal_eig(&alphas, &betas[..alphas.len() - 1])?;
@@ -187,7 +197,12 @@ where
         dense::normalize(&mut x);
         eigenvectors.push(x);
     }
-    Ok(LanczosResult { eigenvalues, eigenvectors, dim: m, converged })
+    Ok(LanczosResult {
+        eigenvalues,
+        eigenvectors,
+        dim: m,
+        converged,
+    })
 }
 
 /// The `k` smallest **nontrivial** eigenpairs of a connected-graph
@@ -210,7 +225,7 @@ pub fn lanczos_smallest_laplacian(
     opts: &LanczosOptions,
 ) -> Result<LanczosResult> {
     let solver = GroundedSolver::new(l, ordering)?;
-    let op = PseudoinverseOp { solver: &solver, buf: std::cell::RefCell::new(vec![]) };
+    let op = PseudoinverseOp::new(&solver);
     let mut res = lanczos_largest(&op, k, true, opts)?;
     // Map μ (of L⁺) back to λ = 1/μ and re-sort ascending.
     for v in &mut res.eigenvalues {
@@ -219,17 +234,41 @@ pub fn lanczos_smallest_laplacian(
     // μ descending ⇒ λ ascending already; enforce anyway for safety.
     let mut order: Vec<usize> = (0..res.eigenvalues.len()).collect();
     order.sort_by(|&a, &b| {
-        res.eigenvalues[a].partial_cmp(&res.eigenvalues[b]).expect("finite eigenvalues")
+        res.eigenvalues[a]
+            .partial_cmp(&res.eigenvalues[b])
+            .expect("finite eigenvalues")
     });
     res.eigenvalues = order.iter().map(|&i| res.eigenvalues[i]).collect();
     res.eigenvectors = order.iter().map(|&i| res.eigenvectors[i].clone()).collect();
     Ok(res)
 }
 
-/// `L⁺` as an operator: one grounded solve per application.
-struct PseudoinverseOp<'a> {
+/// The Laplacian pseudoinverse `L⁺` as a [`LinearOperator`]: one grounded
+/// solve per application, against a factorization built once.
+///
+/// Solver scratch is reused across applications, so driving this operator
+/// inside Lanczos or power iterations allocates nothing per step. The
+/// interior mutability makes the operator `!Sync`; clone per thread if
+/// needed.
+#[derive(Debug, Clone)]
+pub struct PseudoinverseOp<'a> {
     solver: &'a GroundedSolver,
-    buf: std::cell::RefCell<Vec<f64>>,
+    scratch: RefCell<GroundedScratch>,
+}
+
+impl<'a> PseudoinverseOp<'a> {
+    /// Wraps a grounded factorization of the Laplacian to invert.
+    pub fn new(solver: &'a GroundedSolver) -> Self {
+        PseudoinverseOp {
+            solver,
+            scratch: RefCell::new(GroundedScratch::new()),
+        }
+    }
+
+    /// The underlying grounded solver.
+    pub fn solver(&self) -> &GroundedSolver {
+        self.solver
+    }
 }
 
 impl LinearOperator for PseudoinverseOp<'_> {
@@ -238,8 +277,8 @@ impl LinearOperator for PseudoinverseOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let _ = &self.buf; // reserved for future buffer reuse
-        self.solver.solve_into(x, y);
+        self.solver
+            .solve_into_scratch(x, y, &mut self.scratch.borrow_mut());
     }
 }
 
@@ -271,9 +310,8 @@ mod tests {
     fn smallest_laplacian_matches_jacobi() {
         let g = grid2d(5, 5, WeightModel::Unit, 0);
         let l = g.laplacian();
-        let res =
-            lanczos_smallest_laplacian(&l, 4, OrderingKind::MinDegree, &Default::default())
-                .unwrap();
+        let res = lanczos_smallest_laplacian(&l, 4, OrderingKind::MinDegree, &Default::default())
+            .unwrap();
         let (jvals, _) = dense_symmetric_eig(&csr_to_dense(&l)).unwrap();
         // jvals[0] ≈ 0 (trivial); compare against jvals[1..5].
         for i in 0..4 {

@@ -2,7 +2,9 @@
 //!
 //! This crate stands in for the dense/sparse eigensolvers the paper calls
 //! out to (Matlab `eigs`, i.e. ARPACK): everything is built from scratch on
-//! top of the [`sass_solver::LinearOperator`] abstraction:
+//! top of the [`sass_sparse::LinearOperator`] abstraction (the substrate
+//! trait; this crate reaches into `sass_solver` only where an actual
+//! factorized solve is needed — the `L⁺` and pencil operators):
 //!
 //! - [`jacobi::dense_symmetric_eig`]: cyclic Jacobi rotations — the ground
 //!   truth for validation on small matrices,

@@ -18,8 +18,9 @@ use crate::jacobi::dense_symmetric_eig;
 use crate::{EigenError, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sass_solver::{GroundedSolver, LinearOperator};
-use sass_sparse::{dense, CsrMatrix};
+use sass_solver::{GroundedScratch, GroundedSolver};
+use sass_sparse::{dense, CsrMatrix, LinearOperator};
+use std::cell::RefCell;
 
 /// The operator `x ↦ L_P⁺ L_G x`, restricted to mean-zero vectors.
 ///
@@ -51,6 +52,9 @@ pub struct GeneralizedPencil<'a> {
     lg: &'a CsrMatrix,
     lp: &'a CsrMatrix,
     solver: &'a GroundedSolver,
+    // `L_G x` staging buffer plus solver scratch, reused across
+    // applications so power iterations allocate nothing per step.
+    scratch: RefCell<(Vec<f64>, GroundedScratch)>,
 }
 
 impl<'a> GeneralizedPencil<'a> {
@@ -63,7 +67,13 @@ impl<'a> GeneralizedPencil<'a> {
     pub fn new(lg: &'a CsrMatrix, lp: &'a CsrMatrix, solver: &'a GroundedSolver) -> Self {
         assert_eq!(lg.nrows(), lp.nrows(), "pencil: dimension mismatch");
         assert_eq!(lg.nrows(), solver.n(), "pencil: solver dimension mismatch");
-        GeneralizedPencil { lg, lp, solver }
+        let scratch = RefCell::new((vec![0.0; lg.nrows()], GroundedScratch::new()));
+        GeneralizedPencil {
+            lg,
+            lp,
+            solver,
+            scratch,
+        }
     }
 
     /// The original-graph Laplacian.
@@ -120,8 +130,9 @@ impl LinearOperator for GeneralizedPencil<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let tmp = self.lg.mul_vec(x);
-        self.solver.solve_into(&tmp, y);
+        let (tmp, grounded) = &mut *self.scratch.borrow_mut();
+        self.lg.apply(x, tmp);
+        self.solver.solve_into_scratch(tmp, y, grounded);
     }
 }
 
@@ -285,8 +296,8 @@ mod tests {
 
     #[test]
     fn rayleigh_of_generalized_eigenvector_is_eigenvalue() {
-        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)]).unwrap();
         let lg = g.laplacian();
         let tree = g.subgraph_with_edges([0u32, 2, 3]);
         let lp = tree.laplacian();

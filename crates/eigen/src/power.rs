@@ -3,8 +3,7 @@
 use crate::{EigenError, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sass_solver::LinearOperator;
-use sass_sparse::dense;
+use sass_sparse::{dense, LinearOperator};
 
 /// Options for [`power_iteration`].
 #[derive(Debug, Clone, PartialEq)]
@@ -19,7 +18,11 @@ pub struct PowerOptions {
 
 impl Default for PowerOptions {
     fn default() -> Self {
-        PowerOptions { max_iter: 200, tol: 1e-9, seed: 0xbeef }
+        PowerOptions {
+            max_iter: 200,
+            tol: 1e-9,
+            seed: 0xbeef,
+        }
     }
 }
 
@@ -60,7 +63,9 @@ where
 {
     let n = op.dim();
     if n == 0 {
-        return Err(EigenError::InvalidParameter { context: "empty operator".to_string() });
+        return Err(EigenError::InvalidParameter {
+            context: "empty operator".to_string(),
+        });
     }
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -118,7 +123,10 @@ mod tests {
     fn estimate_is_lower_bound() {
         let g = grid2d(8, 8, WeightModel::Unit, 0);
         let l = g.laplacian();
-        let opts = PowerOptions { max_iter: 5, ..Default::default() };
+        let opts = PowerOptions {
+            max_iter: 5,
+            ..Default::default()
+        };
         let (lambda, _) = power_iteration(&l, true, &opts).unwrap();
         let (jvals, _) = dense_symmetric_eig(&csr_to_dense(&l)).unwrap();
         assert!(lambda <= *jvals.last().unwrap() + 1e-9);

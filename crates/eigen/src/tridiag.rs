@@ -66,7 +66,10 @@ pub fn tridiagonal_eig(alpha: &[f64], beta: &[f64]) -> Result<(Vec<f64>, Vec<Vec
             }
             iter += 1;
             if iter > 50 {
-                return Err(EigenError::NotConverged { iterations: iter, residual: e[l].abs() });
+                return Err(EigenError::NotConverged {
+                    iterations: iter,
+                    residual: e[l].abs(),
+                });
             }
             // Implicit shift from the 2x2 trailing block.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);

@@ -47,7 +47,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfBounds { vertex, n } => {
-                write!(f, "vertex {vertex} out of bounds for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of bounds for graph with {n} vertices"
+                )
             }
             GraphError::NonPositiveWeight { u, v, weight } => {
                 write!(f, "edge ({u}, {v}) has non-positive weight {weight}")

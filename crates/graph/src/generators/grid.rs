@@ -47,7 +47,10 @@ pub fn grid2d(nx: usize, ny: usize, weights: WeightModel, seed: u64) -> Graph {
 ///
 /// Panics if any dimension is zero.
 pub fn grid3d(nx: usize, ny: usize, nz: usize, weights: WeightModel, seed: u64) -> Graph {
-    assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+    assert!(
+        nx > 0 && ny > 0 && nz > 0,
+        "grid dimensions must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
     let mut b = GraphBuilder::with_capacity(nx * ny * nz, 3 * nx * ny * nz);
@@ -163,8 +166,15 @@ mod tests {
     #[test]
     fn random_weights_vary() {
         let g = grid2d(6, 6, WeightModel::LogUniform { lo: 1e-2, hi: 1e2 }, 11);
-        let wmin = g.edges().iter().map(|e| e.weight).fold(f64::INFINITY, f64::min);
+        let wmin = g
+            .edges()
+            .iter()
+            .map(|e| e.weight)
+            .fold(f64::INFINITY, f64::min);
         let wmax = g.edges().iter().map(|e| e.weight).fold(0.0, f64::max);
-        assert!(wmax / wmin > 10.0, "expected weight spread, got {wmin}..{wmax}");
+        assert!(
+            wmax / wmin > 10.0,
+            "expected weight spread, got {wmin}..{wmax}"
+        );
     }
 }

@@ -43,7 +43,12 @@ impl<'a> KdTree<'a> {
         if n > 0 && dim > 0 {
             build_recursive(points, dim, &mut order, &mut axis, 0, n, 0);
         }
-        KdTree { points, dim, order, axis }
+        KdTree {
+            points,
+            dim,
+            order,
+            axis,
+        }
     }
 
     /// Number of points.
@@ -75,14 +80,7 @@ impl<'a> KdTree<'a> {
         best
     }
 
-    fn search(
-        &self,
-        lo: usize,
-        hi: usize,
-        query: &[f64],
-        k: usize,
-        best: &mut Vec<(usize, f64)>,
-    ) {
+    fn search(&self, lo: usize, hi: usize, query: &[f64], k: usize, best: &mut Vec<(usize, f64)>) {
         if lo >= hi {
             return;
         }
@@ -140,7 +138,11 @@ fn build_recursive(
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -150,8 +152,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn brute_knn(points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<(usize, f64)> {
-        let mut all: Vec<(usize, f64)> =
-            points.iter().enumerate().map(|(i, p)| (i, dist(p, q))).collect();
+        let mut all: Vec<(usize, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, dist(p, q)))
+            .collect();
         all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         all.truncate(k);
         all
@@ -160,8 +165,9 @@ mod tests {
     #[test]
     fn matches_brute_force_in_3d() {
         let mut rng = StdRng::seed_from_u64(5);
-        let points: Vec<Vec<f64>> =
-            (0..300).map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let points: Vec<Vec<f64>> = (0..300)
+            .map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
         let tree = KdTree::build(&points);
         for _ in 0..30 {
             let q: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -177,8 +183,9 @@ mod tests {
     #[test]
     fn matches_brute_force_high_dim() {
         let mut rng = StdRng::seed_from_u64(6);
-        let points: Vec<Vec<f64>> =
-            (0..200).map(|_| (0..8).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let points: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..8).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
         let tree = KdTree::build(&points);
         let q: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..1.0)).collect();
         let got = tree.k_nearest(&q, 5);

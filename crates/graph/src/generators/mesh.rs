@@ -44,7 +44,10 @@ pub fn fem_mesh2d(nx: usize, ny: usize, seed: u64) -> Graph {
 ///
 /// Panics if a dimension is below 2.
 pub fn fem_mesh3d(nx: usize, ny: usize, nz: usize, seed: u64) -> Graph {
-    assert!(nx >= 2 && ny >= 2 && nz >= 2, "mesh dimensions must be at least 2");
+    assert!(
+        nx >= 2 && ny >= 2 && nz >= 2,
+        "mesh dimensions must be at least 2"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
     let n = nx * ny * nz;
@@ -115,7 +118,9 @@ pub fn airfoil_mesh(rings: usize, sectors: usize, seed: u64) -> (Graph, Vec<[f64
 
     let dist = |a: usize, b: usize| -> f64 {
         let (pa, pb) = (coords[a], coords[b]);
-        ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)).sqrt().max(1e-9)
+        ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2))
+            .sqrt()
+            .max(1e-9)
     };
     let mut b = GraphBuilder::with_capacity(n, 4 * n);
     for r in 0..rings {

@@ -32,9 +32,7 @@ mod scale_free;
 pub use grid::{circuit_grid, grid2d, grid3d};
 pub use kdtree::KdTree;
 pub use mesh::{airfoil_mesh, fem_mesh2d, fem_mesh3d};
-pub use random::{
-    dense_random, gaussian_mixture_points, knn_graph, random_geometric3d,
-};
+pub use random::{dense_random, gaussian_mixture_points, knn_graph, random_geometric3d};
 pub use scale_free::{barabasi_albert, stochastic_block_model, watts_strogatz};
 
 use crate::{Graph, GraphBuilder};
@@ -74,11 +72,17 @@ impl WeightModel {
         match *self {
             WeightModel::Unit => 1.0,
             WeightModel::Uniform { lo, hi } => {
-                assert!(lo > 0.0 && hi > lo, "uniform bounds must satisfy 0 < lo < hi");
+                assert!(
+                    lo > 0.0 && hi > lo,
+                    "uniform bounds must satisfy 0 < lo < hi"
+                );
                 rng.gen_range(lo..hi)
             }
             WeightModel::LogUniform { lo, hi } => {
-                assert!(lo > 0.0 && hi > lo, "log-uniform bounds must satisfy 0 < lo < hi");
+                assert!(
+                    lo > 0.0 && hi > lo,
+                    "log-uniform bounds must satisfy 0 < lo < hi"
+                );
                 let (a, b) = (lo.ln(), hi.ln());
                 rng.gen_range(a..b).exp()
             }

@@ -111,8 +111,7 @@ pub fn random_geometric3d(n: usize, radius: f64, clustered: bool, seed: u64) -> 
                                 continue;
                             }
                             let q = &pts[j];
-                            let d2: f64 =
-                                p.iter().zip(q).map(|(a, c)| (a - c) * (a - c)).sum();
+                            let d2: f64 = p.iter().zip(q).map(|(a, c)| (a - c) * (a - c)).sum();
                             if d2 <= r2 && d2 > 0.0 {
                                 b.add_edge(i, j, (1.0 / d2.sqrt()).min(100.0));
                             }
@@ -139,7 +138,10 @@ pub fn gaussian_mixture_points(
     spread: f64,
     seed: u64,
 ) -> Vec<Vec<f64>> {
-    assert!(n > 0 && dim > 0 && centers > 0, "arguments must be positive");
+    assert!(
+        n > 0 && dim > 0 && centers > 0,
+        "arguments must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mus: Vec<Vec<f64>> = (0..centers)
         .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
@@ -152,8 +154,7 @@ pub fn gaussian_mixture_points(
                     // Box-Muller normal sample.
                     let u1: f64 = rng.gen_range(1e-12..1.0);
                     let u2: f64 = rng.gen_range(0.0..1.0);
-                    let z = (-2.0 * u1.ln()).sqrt()
-                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     m + spread * z
                 })
                 .collect()
@@ -218,7 +219,10 @@ mod tests {
     fn geometric_graph_is_local() {
         let g = random_geometric3d(500, 0.15, false, 9);
         assert!(is_connected(&g));
-        assert!(g.m() > 500, "0.15-radius should give a dense-ish local graph");
+        assert!(
+            g.m() > 500,
+            "0.15-radius should give a dense-ish local graph"
+        );
     }
 
     #[test]
@@ -272,6 +276,10 @@ mod tests {
     }
 
     fn dist(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     }
 }

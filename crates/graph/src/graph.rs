@@ -42,12 +42,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder with edge capacity reserved.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of vertices.
@@ -76,10 +82,16 @@ impl GraphBuilder {
     /// [`GraphError::NonPositiveWeight`] (non-finite weights included).
     pub fn try_add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<()> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfBounds { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfBounds {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfBounds { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfBounds {
+                vertex: v,
+                n: self.n,
+            });
         }
         // The negated comparison is deliberate: it rejects NaN as well.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -162,7 +174,12 @@ impl Graph {
             adj[next[e.v as usize]] = (e.u, id as u32);
             next[e.v as usize] += 1;
         }
-        Graph { n, edges, xadj, adj }
+        Graph {
+            n,
+            edges,
+            xadj,
+            adj,
+        }
     }
 
     /// Builds a graph directly from an edge list (convenience constructor).
@@ -245,7 +262,11 @@ impl Graph {
             return None;
         }
         // Scan the smaller adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adj[self.xadj[a]..self.xadj[a + 1]]
             .iter()
             .find(|&&(nbr, _)| nbr as usize == b)
@@ -425,7 +446,9 @@ mod tests {
         let manual: f64 = g
             .edges()
             .iter()
-            .map(|e| e.weight * (x[e.u as usize] - x[e.v as usize]) * (x[e.u as usize] - x[e.v as usize]))
+            .map(|e| {
+                e.weight * (x[e.u as usize] - x[e.v as usize]) * (x[e.u as usize] - x[e.v as usize])
+            })
             .sum();
         assert!((l.quad_form(&x) - manual).abs() < 1e-12);
     }
@@ -466,15 +489,27 @@ mod tests {
     fn induced_subgraph_renumbers() {
         let g = Graph::from_edges(
             5,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (0, 4, 5.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 4, 4.0),
+                (0, 4, 5.0),
+            ],
         )
         .unwrap();
         let (sub, back) = g.induced_subgraph(&[1, 2, 3]);
         assert_eq!(sub.n(), 3);
         assert_eq!(sub.m(), 2); // (1,2) and (2,3) survive
         assert_eq!(back, vec![1, 2, 3]);
-        assert_eq!(sub.find_edge(0, 1).map(|id| sub.edge(id as usize).weight), Some(2.0));
-        assert_eq!(sub.find_edge(1, 2).map(|id| sub.edge(id as usize).weight), Some(3.0));
+        assert_eq!(
+            sub.find_edge(0, 1).map(|id| sub.edge(id as usize).weight),
+            Some(2.0)
+        );
+        assert_eq!(
+            sub.find_edge(1, 2).map(|id| sub.edge(id as usize).weight),
+            Some(3.0)
+        );
     }
 
     #[test]
@@ -515,7 +550,11 @@ mod tests {
 
     #[test]
     fn edge_other_endpoint() {
-        let e = Edge { u: 3, v: 7, weight: 1.0 };
+        let e = Edge {
+            u: 3,
+            v: 7,
+            weight: 1.0,
+        };
         assert_eq!(e.other(3), 7);
         assert_eq!(e.other(7), 3);
     }

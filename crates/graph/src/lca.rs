@@ -40,7 +40,12 @@ impl LcaIndex {
     pub fn new(tree: &RootedTree) -> Self {
         let n = tree.n();
         if n == 0 {
-            return LcaIndex { tour: vec![], tour_depth: vec![], first: vec![], table: vec![] };
+            return LcaIndex {
+                tour: vec![],
+                tour_depth: vec![],
+                first: vec![],
+                table: vec![],
+            };
         }
         // Children lists from parent pointers, in BFS order so the iterative
         // DFS below is deterministic.
@@ -101,12 +106,21 @@ impl LcaIndex {
             for i in 0..=(len - (1 << k)) {
                 let a = prev[i];
                 let b = prev[i + half];
-                row.push(if tour_depth[a as usize] <= tour_depth[b as usize] { a } else { b });
+                row.push(if tour_depth[a as usize] <= tour_depth[b as usize] {
+                    a
+                } else {
+                    b
+                });
             }
             table.push(row);
             k += 1;
         }
-        LcaIndex { tour, tour_depth, first, table }
+        LcaIndex {
+            tour,
+            tour_depth,
+            first,
+            table,
+        }
     }
 
     /// The lowest common ancestor of `u` and `v`.
@@ -123,7 +137,11 @@ impl LcaIndex {
         let k = (usize::BITS - 1 - len.leading_zeros()) as usize; // floor(log2(len))
         let x = self.table[k][a];
         let y = self.table[k][b + 1 - (1 << k)];
-        let pos = if self.tour_depth[x as usize] <= self.tour_depth[y as usize] { x } else { y };
+        let pos = if self.tour_depth[x as usize] <= self.tour_depth[y as usize] {
+            x
+        } else {
+            y
+        };
         self.tour[pos as usize] as usize
     }
 }

@@ -17,7 +17,11 @@ pub struct AkpwParams {
 
 impl Default for AkpwParams {
     fn default() -> Self {
-        AkpwParams { class_growth: 4.0, ball_radius: 2, seed: 0x5a55 }
+        AkpwParams {
+            class_growth: 4.0,
+            ball_radius: 2,
+            seed: 0x5a55,
+        }
     }
 }
 
@@ -56,7 +60,9 @@ pub fn akpw_spanning_tree(g: &Graph, params: &AkpwParams) -> Result<Vec<u32>> {
         return Ok(Vec::new());
     }
     if g.m() + 1 < n || !crate::traverse::is_connected(g) {
-        return Err(GraphError::Disconnected { components: count_components(g) });
+        return Err(GraphError::Disconnected {
+            components: count_components(g),
+        });
     }
     let rho = params.class_growth.max(1.5);
     let radius = params.ball_radius.max(1);
@@ -77,8 +83,11 @@ pub fn akpw_spanning_tree(g: &Graph, params: &AkpwParams) -> Result<Vec<u32>> {
             let e = g.edge(id as usize);
             uf.find(e.u as usize) != uf.find(e.v as usize)
         });
-        let active: Vec<u32> =
-            live.iter().copied().filter(|&id| lengths[id as usize] <= limit).collect();
+        let active: Vec<u32> = live
+            .iter()
+            .copied()
+            .filter(|&id| lengths[id as usize] <= limit)
+            .collect();
         if active.is_empty() {
             limit *= rho;
             continue;
@@ -210,8 +219,7 @@ mod tests {
         // A heavy "backbone" path plus light cross edges: AKPW should take
         // (almost) the whole backbone since heavy = short.
         let n = 20;
-        let mut edges: Vec<(usize, usize, f64)> =
-            (0..n - 1).map(|i| (i, i + 1, 100.0)).collect();
+        let mut edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 100.0)).collect();
         for i in 0..n - 2 {
             edges.push((i, i + 2, 0.01));
         }
@@ -221,7 +229,11 @@ mod tests {
             .iter()
             .filter(|&&id| g.edge(id as usize).weight == 100.0)
             .count();
-        assert_eq!(heavy_kept, n - 1, "all heavy path edges should be tree edges");
+        assert_eq!(
+            heavy_kept,
+            n - 1,
+            "all heavy path edges should be tree edges"
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ fn kruskal(g: &Graph, descending: bool) -> Result<Vec<u32>> {
         }
     }
     if tree.len() != g.n() - 1 {
-        return Err(GraphError::Disconnected { components: count_components(g) });
+        return Err(GraphError::Disconnected {
+            components: count_components(g),
+        });
     }
     tree.sort_unstable();
     Ok(tree)
@@ -99,7 +101,14 @@ mod tests {
         // trees enumerated by edge subsets.
         let g = Graph::from_edges(
             4,
-            &[(0, 1, 4.0), (1, 2, 3.0), (2, 3, 2.0), (3, 0, 1.0), (0, 2, 5.0), (1, 3, 0.5)],
+            &[
+                (0, 1, 4.0),
+                (1, 2, 3.0),
+                (2, 3, 2.0),
+                (3, 0, 1.0),
+                (0, 2, 5.0),
+                (1, 3, 0.5),
+            ],
         )
         .unwrap();
         let best = max_weight_spanning_tree(&g).unwrap();

@@ -65,7 +65,10 @@ pub fn bfs_spanning_tree(g: &Graph, root: usize) -> Result<Vec<u32>> {
         return Ok(Vec::new());
     }
     if root >= g.n() {
-        return Err(GraphError::VertexOutOfBounds { vertex: root, n: g.n() });
+        return Err(GraphError::VertexOutOfBounds {
+            vertex: root,
+            n: g.n(),
+        });
     }
     let mut visited = vec![false; g.n()];
     let mut queue = vec![root];
@@ -85,7 +88,9 @@ pub fn bfs_spanning_tree(g: &Graph, root: usize) -> Result<Vec<u32>> {
         }
     }
     if queue.len() != g.n() {
-        return Err(GraphError::Disconnected { components: count_components(g) });
+        return Err(GraphError::Disconnected {
+            components: count_components(g),
+        });
     }
     Ok(tree)
 }
@@ -141,7 +146,10 @@ mod tests {
             TreeKind::Random(1),
         ] {
             assert!(
-                matches!(spanning_tree(&g, kind), Err(GraphError::Disconnected { .. })),
+                matches!(
+                    spanning_tree(&g, kind),
+                    Err(GraphError::Disconnected { .. })
+                ),
                 "{kind:?} should reject a disconnected graph"
             );
         }

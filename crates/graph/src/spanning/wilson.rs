@@ -33,7 +33,9 @@ pub fn random_spanning_tree(g: &Graph, seed: u64) -> Result<Vec<u32>> {
         return Ok(Vec::new());
     }
     if !crate::traverse::is_connected(g) {
-        return Err(GraphError::Disconnected { components: count_components(g) });
+        return Err(GraphError::Disconnected {
+            components: count_components(g),
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -99,7 +101,15 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let g = Graph::from_edges(
             6,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0), (5, 0, 1.0), (0, 3, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 0, 1.0),
+                (0, 3, 1.0),
+            ],
         )
         .unwrap();
         let a = random_spanning_tree(&g, 99).unwrap();
@@ -110,8 +120,8 @@ mod tests {
 
     #[test]
     fn different_seeds_explore_different_trees() {
-        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]).unwrap();
         let mut seen = std::collections::HashSet::new();
         for seed in 0..32 {
             seen.insert(random_spanning_tree(&g, seed).unwrap());
@@ -124,17 +134,22 @@ mod tests {
     #[test]
     fn distribution_roughly_uniform_on_unit_cycle() {
         // All 4 spanning trees of the unit 4-cycle are equally likely.
-        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]).unwrap();
         let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
         let trials = 2000;
         for seed in 0..trials {
-            *counts.entry(random_spanning_tree(&g, seed).unwrap()).or_default() += 1;
+            *counts
+                .entry(random_spanning_tree(&g, seed).unwrap())
+                .or_default() += 1;
         }
         assert_eq!(counts.len(), 4);
         for &c in counts.values() {
             let p = c as f64 / trials as f64;
-            assert!((p - 0.25).abs() < 0.05, "tree probability {p} far from 0.25");
+            assert!(
+                (p - 0.25).abs() < 0.05,
+                "tree probability {p} far from 0.25"
+            );
         }
     }
 

@@ -56,7 +56,9 @@ pub fn edge_stretch(g: &Graph, tree: &RootedTree, lca: &LcaIndex, edge_id: u32) 
 /// # }
 /// ```
 pub fn all_stretches(g: &Graph, tree: &RootedTree, lca: &LcaIndex) -> Vec<f64> {
-    (0..g.m() as u32).map(|id| edge_stretch(g, tree, lca, id)).collect()
+    (0..g.m() as u32)
+        .map(|id| edge_stretch(g, tree, lca, id))
+        .collect()
 }
 
 /// Computes [`StretchStats`] for the tree, building a temporary LCA index.
@@ -70,8 +72,17 @@ pub fn stretch_stats(g: &Graph, tree: &RootedTree) -> Result<StretchStats> {
     let stretches = all_stretches(g, tree, &lca);
     let total: f64 = stretches.iter().sum();
     let max = stretches.iter().copied().fold(0.0, f64::max);
-    let mean = if stretches.is_empty() { 0.0 } else { total / stretches.len() as f64 };
-    Ok(StretchStats { total, max, mean, off_tree_edges: g.m() + 1 - g.n() })
+    let mean = if stretches.is_empty() {
+        0.0
+    } else {
+        total / stretches.len() as f64
+    };
+    Ok(StretchStats {
+        total,
+        max,
+        mean,
+        off_tree_edges: g.m() + 1 - g.n(),
+    })
 }
 
 #[cfg(test)]
@@ -83,7 +94,14 @@ mod tests {
     fn tree_edges_have_unit_stretch() {
         let g = Graph::from_edges(
             5,
-            &[(0, 1, 2.0), (1, 2, 0.5), (2, 3, 4.0), (3, 4, 1.0), (0, 4, 1.0), (1, 3, 3.0)],
+            &[
+                (0, 1, 2.0),
+                (1, 2, 0.5),
+                (2, 3, 4.0),
+                (3, 4, 1.0),
+                (0, 4, 1.0),
+                (1, 3, 3.0),
+            ],
         )
         .unwrap();
         let tree = spanning::max_weight_spanning_tree(&g).unwrap();
@@ -99,13 +117,14 @@ mod tests {
     fn cycle_edge_stretch_is_cycle_resistance_ratio() {
         // Unit 4-cycle with tree = path 0-1-2-3: the closing edge (0,3) has
         // stretch 1.0 * (1+1+1) = 3.
-        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)]).unwrap();
         let ids: Vec<u32> = (0..3)
             .map(|i| {
-                let e = g.edges().iter().position(|e| {
-                    (e.u as usize, e.v as usize) == (i, i + 1)
-                });
+                let e = g
+                    .edges()
+                    .iter()
+                    .position(|e| (e.u as usize, e.v as usize) == (i, i + 1));
                 e.unwrap() as u32
             })
             .collect();
@@ -121,7 +140,13 @@ mod tests {
     fn total_stretch_matches_manual_sum() {
         let g = Graph::from_edges(
             4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 2.0), (0, 2, 0.25)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (0, 3, 2.0),
+                (0, 2, 0.25),
+            ],
         )
         .unwrap();
         // Tree = path edges: ids of (0,1), (1,2), (2,3).

@@ -106,7 +106,16 @@ impl RootedTree {
                 context: format!("only {} of {} vertices reachable", bfs_order.len(), n),
             });
         }
-        Ok(RootedTree { root, n, parent, parent_edge, depth, rdist, bfs_order, edge_ids })
+        Ok(RootedTree {
+            root,
+            n,
+            parent,
+            parent_edge,
+            depth,
+            rdist,
+            bfs_order,
+            edge_ids,
+        })
     }
 
     /// The root vertex.
@@ -205,7 +214,13 @@ mod tests {
         // (0,1)=0, (0,2)=1, (0,3)=2, (1,2)=3, (2,3)=4.
         Graph::from_edges(
             4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 2.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 0, 1.0),
+                (0, 2, 2.0),
+            ],
         )
         .unwrap()
     }

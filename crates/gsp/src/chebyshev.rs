@@ -11,8 +11,7 @@
 //! spectrum-normalized operator `2L/λmax − I`; Jackson damping suppresses
 //! the Gibbs oscillation of the truncated expansion.
 
-use sass_solver::LinearOperator;
-use sass_sparse::{dense, CsrMatrix};
+use sass_sparse::{dense, CsrMatrix, LinearOperator};
 
 /// A Chebyshev polynomial approximation of a spectral transfer function
 /// `h : [0, λmax] → R`.
@@ -90,7 +89,10 @@ impl ChebyshevFilter {
     ///
     /// Panics if `cutoff` is outside `(0, lambda_max]`.
     pub fn low_pass(lambda_max: f64, cutoff: f64, degree: usize) -> Self {
-        assert!(cutoff > 0.0 && cutoff <= lambda_max, "cutoff must lie in (0, lambda_max]");
+        assert!(
+            cutoff > 0.0 && cutoff <= lambda_max,
+            "cutoff must lie in (0, lambda_max]"
+        );
         Self::from_response(lambda_max, degree, |l| if l <= cutoff { 1.0 } else { 0.0 })
             .with_jackson_damping()
     }
@@ -233,7 +235,10 @@ mod tests {
         for lambda in [0.0f64, 0.5, 2.0, 5.0, 8.0] {
             let want = (-0.5 * lambda).exp();
             let got = filter.response(lambda);
-            assert!((got - want).abs() < 1e-3, "h({lambda}) = {got}, want {want}");
+            assert!(
+                (got - want).abs() < 1e-3,
+                "h({lambda}) = {got}, want {want}"
+            );
         }
         assert_eq!(filter.degree(), 48);
     }

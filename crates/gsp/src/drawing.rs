@@ -18,12 +18,8 @@ use sass_sparse::CsrMatrix;
 ///
 /// Propagates eigensolver failures (e.g. disconnected graphs).
 pub fn spectral_coordinates(l: &CsrMatrix, dim: usize) -> Result<Vec<Vec<f64>>> {
-    let res = lanczos_smallest_laplacian(
-        l,
-        dim,
-        OrderingKind::MinDegree,
-        &LanczosOptions::default(),
-    )?;
+    let res =
+        lanczos_smallest_laplacian(l, dim, OrderingKind::MinDegree, &LanczosOptions::default())?;
     let n = l.nrows();
     let mut coords = vec![vec![0.0; dim]; n];
     for (d, vector) in res.eigenvectors.iter().enumerate() {

@@ -28,7 +28,11 @@ impl BandPreservation {
     pub fn low_band_error(&self, k: usize) -> f64 {
         assert!(k > 0, "k must be positive");
         let k = k.min(self.ratios.len());
-        self.ratios[..k].iter().map(|r| (r - 1.0).abs()).sum::<f64>() / k as f64
+        self.ratios[..k]
+            .iter()
+            .map(|r| (r - 1.0).abs())
+            .sum::<f64>()
+            / k as f64
     }
 
     /// Mean absolute deviation from 1 over the highest `k` frequencies.
@@ -40,7 +44,11 @@ impl BandPreservation {
         assert!(k > 0, "k must be positive");
         let k = k.min(self.ratios.len());
         let start = self.ratios.len() - k;
-        self.ratios[start..].iter().map(|r| (r - 1.0).abs()).sum::<f64>() / k as f64
+        self.ratios[start..]
+            .iter()
+            .map(|r| (r - 1.0).abs())
+            .sum::<f64>()
+            / k as f64
     }
 }
 
@@ -63,7 +71,10 @@ pub fn band_preservation(lg: &CsrMatrix, lp: &CsrMatrix) -> Result<BandPreservat
         frequencies.push(*lam);
         ratios.push(qp / qg);
     }
-    Ok(BandPreservation { frequencies, ratios })
+    Ok(BandPreservation {
+        frequencies,
+        ratios,
+    })
 }
 
 #[cfg(test)]
@@ -75,9 +86,13 @@ mod tests {
     #[test]
     fn sparsifier_is_a_low_pass_filter() {
         // The paper's §3.4 claim: low-frequency quadratic forms are
-        // preserved better than high-frequency ones.
-        let g = fem_mesh2d(8, 8, 3);
-        let sp = sparsify(&g, &SparsifyConfig::new(50.0).with_seed(2)).unwrap();
+        // preserved better than high-frequency ones. Measured on a
+        // small-world graph — the effect is robust on expander-like
+        // topologies, while on regular meshes the band profile is flat and
+        // the comparison is a coin flip (see the averaged integration
+        // test in `tests/applications.rs`).
+        let g = sass_graph::generators::watts_strogatz(100, 6, 0.2, 3);
+        let sp = sparsify(&g, &SparsifyConfig::new(20.0).with_seed(2)).unwrap();
         let bp = band_preservation(&g.laplacian(), &sp.graph().laplacian()).unwrap();
         let k = bp.ratios.len() / 4;
         let low = bp.low_band_error(k);

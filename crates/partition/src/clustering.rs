@@ -68,11 +68,7 @@ pub struct Clustering {
 ///
 /// Returns [`PartitionError::TooSmall`] when `k` is 0 or exceeds `n`, and
 /// propagates eigensolver failures (disconnected input).
-pub fn spectral_clustering(
-    g: &Graph,
-    k: usize,
-    opts: &ClusteringOptions,
-) -> Result<Clustering> {
+pub fn spectral_clustering(g: &Graph, k: usize, opts: &ClusteringOptions) -> Result<Clustering> {
     if k == 0 || k > g.n() {
         return Err(PartitionError::TooSmall { n: g.n() });
     }
@@ -84,13 +80,12 @@ pub fn spectral_clustering(
             cut_weight: 0.0,
         });
     }
-    let dims = opts.embed_dims.unwrap_or(k).clamp(1, g.n().saturating_sub(1));
-    let eig = lanczos_smallest_laplacian(
-        &g.laplacian(),
-        dims,
-        OrderingKind::MinDegree,
-        &opts.lanczos,
-    )?;
+    let dims = opts
+        .embed_dims
+        .unwrap_or(k)
+        .clamp(1, g.n().saturating_sub(1));
+    let eig =
+        lanczos_smallest_laplacian(&g.laplacian(), dims, OrderingKind::MinDegree, &opts.lanczos)?;
     // Row-major embedding: point v = (u_2(v), ..., u_{dims+1}(v)).
     let n = g.n();
     let mut points = vec![vec![0.0f64; dims]; n];
@@ -102,8 +97,12 @@ pub fn spectral_clustering(
 
     let mut best: Option<(Vec<usize>, f64)> = None;
     for restart in 0..opts.restarts.max(1) {
-        let (assign, inertia) =
-            kmeans(&points, k, opts.kmeans_iters, opts.seed ^ (restart as u64) << 16);
+        let (assign, inertia) = kmeans(
+            &points,
+            k,
+            opts.kmeans_iters,
+            opts.seed ^ (restart as u64) << 16,
+        );
         if best.as_ref().is_none_or(|(_, bi)| inertia < *bi) {
             best = Some((assign, inertia));
         }
@@ -115,7 +114,12 @@ pub fn spectral_clustering(
         .filter(|e| assignment[e.u as usize] != assignment[e.v as usize])
         .map(|e| e.weight)
         .sum();
-    Ok(Clustering { assignment, k, inertia, cut_weight })
+    Ok(Clustering {
+        assignment,
+        k,
+        inertia,
+        cut_weight,
+    })
 }
 
 /// Lloyd's k-means with k-means++ seeding. Returns `(assignment, inertia)`.

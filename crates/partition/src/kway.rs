@@ -101,8 +101,12 @@ pub fn kway_partition(g: &Graph, k: usize, opts: &PartitionOptions) -> Result<Kw
             for &c in &labels {
                 comp_sizes[c] += 1;
             }
-            let biggest =
-                comp_sizes.iter().enumerate().max_by_key(|(_, &s)| s).unwrap().0;
+            let biggest = comp_sizes
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &s)| s)
+                .unwrap()
+                .0;
             for (v, &c) in labels.iter().enumerate() {
                 if c == biggest {
                     sides.0.push(back[v]);
@@ -147,7 +151,11 @@ pub fn kway_partition(g: &Graph, k: usize, opts: &PartitionOptions) -> Result<Kw
         .filter(|e| assignment[e.u as usize] != assignment[e.v as usize])
         .map(|e| e.weight)
         .sum();
-    Ok(KwayPartition { assignment, parts: nparts, cut_weight })
+    Ok(KwayPartition {
+        assignment,
+        parts: nparts,
+        cut_weight,
+    })
 }
 
 #[cfg(test)]
@@ -159,7 +167,9 @@ mod tests {
 
     fn direct_opts() -> PartitionOptions {
         PartitionOptions {
-            backend: Backend::Direct { ordering: OrderingKind::MinDegree },
+            backend: Backend::Direct {
+                ordering: OrderingKind::MinDegree,
+            },
             // Sweep cuts are the robust choice under recursive bisection
             // (degenerate eigenspaces rotate the Fiedler vector).
             cut: CutRule::Sweep { min_balance: 0.2 },

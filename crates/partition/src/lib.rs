@@ -128,7 +128,10 @@ impl Default for Backend {
     fn default() -> Self {
         Backend::Sparsified {
             config: SparsifyConfig::new(200.0),
-            pcg: PcgOptions { tol: 1e-6, ..Default::default() },
+            pcg: PcgOptions {
+                tol: 1e-6,
+                ..Default::default()
+            },
         }
     }
 }
@@ -240,8 +243,7 @@ pub fn partition(g: &Graph, opts: &PartitionOptions) -> Result<Partition> {
         return Err(PartitionError::TooSmall { n: g.n() });
     }
     let l = g.laplacian();
-    let (lambda2, fiedler, memory, setup_time, solve_time, pcg_iterations) = match &opts.backend
-    {
+    let (lambda2, fiedler, memory, setup_time, solve_time, pcg_iterations) = match &opts.backend {
         Backend::Direct { ordering } => {
             let t0 = Instant::now();
             let solver = GroundedSolver::new(&l, *ordering)?;
@@ -271,9 +273,10 @@ pub fn partition(g: &Graph, opts: &PartitionOptions) -> Result<Partition> {
         }
     };
     let signs = match opts.cut {
-        CutRule::Sign => {
-            fiedler.iter().map(|&x| if x >= 0.0 { 1i8 } else { -1 }).collect()
-        }
+        CutRule::Sign => fiedler
+            .iter()
+            .map(|&x| if x >= 0.0 { 1i8 } else { -1 })
+            .collect(),
         CutRule::Sweep { min_balance } => sweep_cut(g, &fiedler, min_balance),
     };
     let cut = cut_weight(g, &signs);
@@ -378,7 +381,9 @@ mod tests {
 
     fn direct_opts() -> PartitionOptions {
         PartitionOptions {
-            backend: Backend::Direct { ordering: OrderingKind::MinDegree },
+            backend: Backend::Direct {
+                ordering: OrderingKind::MinDegree,
+            },
             ..Default::default()
         }
     }
@@ -410,7 +415,9 @@ mod tests {
         let d = partition(
             &g,
             &PartitionOptions {
-                backend: Backend::Direct { ordering: OrderingKind::NestedDissection },
+                backend: Backend::Direct {
+                    ordering: OrderingKind::NestedDissection,
+                },
                 ..Default::default()
             },
         )
@@ -428,8 +435,7 @@ mod tests {
     fn recovers_planted_communities() {
         let g = stochastic_block_model(&[40, 40], 0.3, 0.01, 9);
         let p = partition(&g, &direct_opts()).unwrap();
-        let planted: Vec<f64> =
-            (0..80).map(|i| if i < 40 { 1.0 } else { -1.0 }).collect();
+        let planted: Vec<f64> = (0..80).map(|i| if i < 40 { 1.0 } else { -1.0 }).collect();
         let err = sign_disagreement(&p.fiedler, &planted);
         assert!(err < 0.05, "community error {err}");
     }
@@ -447,6 +453,10 @@ mod tests {
     fn signed_ratio_near_one_on_symmetric_graphs() {
         let g = grid2d(12, 12, WeightModel::Unit, 0);
         let p = partition(&g, &direct_opts()).unwrap();
-        assert!((p.signed_ratio() - 1.0).abs() < 0.35, "ratio {}", p.signed_ratio());
+        assert!(
+            (p.signed_ratio() - 1.0).abs() < 0.35,
+            "ratio {}",
+            p.signed_ratio()
+        );
     }
 }

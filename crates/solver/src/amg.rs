@@ -36,7 +36,12 @@ pub struct AmgOptions {
 
 impl Default for AmgOptions {
     fn default() -> Self {
-        AmgOptions { coarse_size: 200, jacobi_weight: 2.0 / 3.0, smoothing_sweeps: 1, max_levels: 20 }
+        AmgOptions {
+            coarse_size: 200,
+            jacobi_weight: 2.0 / 3.0,
+            smoothing_sweeps: 1,
+            max_levels: 20,
+        }
     }
 }
 
@@ -176,11 +181,20 @@ impl AmgPrec {
                 .into_iter()
                 .map(|d| if d != 0.0 { 1.0 / d } else { 0.0 })
                 .collect();
-            levels.push(Level { a: current, inv_diag, agg, n_coarse });
+            levels.push(Level {
+                a: current,
+                inv_diag,
+                agg,
+                n_coarse,
+            });
             current = coarse;
         }
         let coarse = crate::GroundedSolver::new(&current, OrderingKind::MinDegree)?;
-        Ok(AmgPrec { levels, coarse, options: options.clone() })
+        Ok(AmgPrec {
+            levels,
+            coarse,
+            options: options.clone(),
+        })
     }
 
     /// Number of levels including the coarse direct solve.
@@ -199,9 +213,7 @@ impl AmgPrec {
         let mut r = vec![0.0; n];
         for _ in 0..sweeps {
             level.a.mul_vec_into(x, &mut r);
-            for ((xi, &bi), (&ri, &di)) in
-                x.iter_mut().zip(b).zip(r.iter().zip(&level.inv_diag))
-            {
+            for ((xi, &bi), (&ri, &di)) in x.iter_mut().zip(b).zip(r.iter().zip(&level.inv_diag)) {
                 *xi += self.options.jacobi_weight * di * (bi - ri);
             }
         }
@@ -278,7 +290,10 @@ mod tests {
         let g = grid2d(32, 32, WeightModel::Unit, 1);
         let l = g.laplacian();
         let b = centered_rhs(g.n(), 2);
-        let opts = PcgOptions { tol: 1e-8, ..Default::default() };
+        let opts = PcgOptions {
+            tol: 1e-8,
+            ..Default::default()
+        };
         let amg = AmgPrec::new(&l, &Default::default()).unwrap();
         let (x, s_amg) = pcg(&l, &b, &amg, &opts);
         let (_, s_jac) = pcg(&l, &b, &JacobiPrec::new(&l), &opts);
@@ -298,8 +313,16 @@ mod tests {
         let l = g.laplacian();
         let b = centered_rhs(g.n(), 4);
         let amg = AmgPrec::new(&l, &Default::default()).unwrap();
-        let (x, stats) =
-            pcg(&l, &b, &amg, &PcgOptions { tol: 1e-8, max_iter: 2000, ..Default::default() });
+        let (x, stats) = pcg(
+            &l,
+            &b,
+            &amg,
+            &PcgOptions {
+                tol: 1e-8,
+                max_iter: 2000,
+                ..Default::default()
+            },
+        );
         assert!(stats.converged, "{stats:?}");
         assert!(l.residual_norm(&x, &b) < 1e-6);
     }

@@ -126,27 +126,61 @@ impl GroundedSolver {
     ///
     /// Panics if `b.len() != n()` or `x.len() != n()`.
     pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        self.solve_into_scratch(b, x, &mut GroundedScratch::new());
+    }
+
+    /// [`GroundedSolver::solve_into`] with caller-owned scratch buffers, so
+    /// repeated solves against one factorization (power/Lanczos iterations,
+    /// PCG preconditioning, embeddings over many right-hand sides) allocate
+    /// nothing after the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n()` or `x.len() != n()`.
+    pub fn solve_into_scratch(&self, b: &[f64], x: &mut [f64], scratch: &mut GroundedScratch) {
         assert_eq!(b.len(), self.n, "solve: b length mismatch");
         assert_eq!(x.len(), self.n, "solve: x length mismatch");
         let mean = dense::mean(b);
         // Reduced RHS skips the ground entry.
-        let mut rb = Vec::with_capacity(self.n - 1);
+        let rb = &mut scratch.rb;
+        rb.clear();
+        rb.reserve(self.n - 1);
         for (i, &bi) in b.iter().enumerate() {
             if i != self.ground {
                 rb.push(bi - mean);
             }
         }
-        let rx = self.factor.solve(&rb);
+        scratch.rx.resize(self.n - 1, 0.0);
+        self.factor
+            .solve_into_scratch(rb, &mut scratch.rx, &mut scratch.work);
         let mut k = 0;
         for (i, xi) in x.iter_mut().enumerate() {
             if i == self.ground {
                 *xi = 0.0;
             } else {
-                *xi = rx[k];
+                *xi = scratch.rx[k];
                 k += 1;
             }
         }
         dense::center(x);
+    }
+}
+
+/// Reusable buffers for [`GroundedSolver::solve_into_scratch`].
+///
+/// One scratch serves solvers of any size (buffers resize lazily); keep it
+/// per call site, not shared across threads.
+#[derive(Debug, Clone, Default)]
+pub struct GroundedScratch {
+    rb: Vec<f64>,
+    rx: Vec<f64>,
+    work: Vec<f64>,
+}
+
+impl GroundedScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -169,8 +203,8 @@ mod tests {
 
     #[test]
     fn solution_is_mean_zero_pseudoinverse() {
-        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 0, 1.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 0, 1.0)]).unwrap();
         let l = g.laplacian();
         let s = GroundedSolver::new(&l, OrderingKind::Natural).unwrap();
         let b = [1.0, -1.0, 1.0, -1.0];
@@ -220,8 +254,9 @@ mod tests {
         let s = GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap();
         let rhs: Vec<Vec<f64>> = (0..4)
             .map(|k| {
-                let mut b: Vec<f64> =
-                    (0..36).map(|i| ((i * (k + 2)) as f64 * 0.1).sin()).collect();
+                let mut b: Vec<f64> = (0..36)
+                    .map(|i| ((i * (k + 2)) as f64 * 0.1).sin())
+                    .collect();
                 dense::center(&mut b);
                 b
             })

@@ -45,17 +45,19 @@
 mod amg;
 mod error;
 mod grounded;
-mod operator;
 mod pcg;
 mod preconditioner;
 mod tree_solver;
 
 pub use amg::{AmgOptions, AmgPrec};
 pub use error::SolverError;
-pub use grounded::GroundedSolver;
-pub use operator::LinearOperator;
-pub use pcg::{pcg, pcg_with_x0, PcgOptions, SolveStats};
+pub use grounded::{GroundedScratch, GroundedSolver};
+// Re-exported for compatibility: the trait moved down into `sass-sparse`
+// (operators are a substrate primitive, not a solver concern), and new code
+// should name it from there.
+pub use pcg::{pcg, pcg_scratch, pcg_with_x0, PcgOptions, PcgScratch, SolveStats};
 pub use preconditioner::{IdentityPrec, JacobiPrec, LaplacianPrec, Preconditioner, TreePrec};
+pub use sass_sparse::LinearOperator;
 pub use tree_solver::TreeSolver;
 
 /// Crate-wide result alias.

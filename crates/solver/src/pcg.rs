@@ -18,14 +18,22 @@ pub struct PcgOptions {
 
 impl Default for PcgOptions {
     fn default() -> Self {
-        PcgOptions { tol: 1e-10, max_iter: 5000, record_history: false, center: true }
+        PcgOptions {
+            tol: 1e-10,
+            max_iter: 5000,
+            record_history: false,
+            center: true,
+        }
     }
 }
 
 impl PcgOptions {
     /// The paper's Table 2 setting: `‖Ax − b‖ < 10⁻³ ‖b‖`.
     pub fn paper_accuracy() -> Self {
-        PcgOptions { tol: 1e-3, ..Self::default() }
+        PcgOptions {
+            tol: 1e-3,
+            ..Self::default()
+        }
     }
 }
 
@@ -40,6 +48,44 @@ pub struct SolveStats {
     pub converged: bool,
     /// Per-iteration relative residuals (empty unless requested).
     pub residual_history: Vec<f64>,
+}
+
+/// Reusable workspace for [`pcg_scratch`].
+///
+/// A PCG solve needs five working vectors; callers that solve repeatedly
+/// with operators of the same dimension (inverse iterations, embeddings
+/// over many right-hand sides) hand the same scratch back in and the hot
+/// loop performs **no allocation at all**. Buffers are lazily resized, so
+/// one scratch can serve operators of different sizes too.
+#[derive(Debug, Clone, Default)]
+pub struct PcgScratch {
+    b: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl PcgScratch {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for dimension-`n` solves.
+    pub fn with_dim(n: usize) -> Self {
+        let mut s = Self::default();
+        s.resize(n);
+        s
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.b.resize(n, 0.0);
+        self.r.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+    }
 }
 
 /// Preconditioned conjugate gradient for symmetric positive
@@ -59,8 +105,9 @@ where
     A: LinearOperator + ?Sized,
     M: Preconditioner + ?Sized,
 {
-    let x0 = vec![0.0; b.len()];
-    pcg_with_x0(a, b, &x0, m, opts)
+    let mut x = vec![0.0; b.len()];
+    let stats = pcg_scratch(a, b, &mut x, m, opts, &mut PcgScratch::new());
+    (x, stats)
 }
 
 /// [`pcg`] with an explicit starting guess.
@@ -79,84 +126,107 @@ where
     A: LinearOperator + ?Sized,
     M: Preconditioner + ?Sized,
 {
+    let mut x = x0.to_vec();
+    let stats = pcg_scratch(a, b, &mut x, m, opts, &mut PcgScratch::new());
+    (x, stats)
+}
+
+/// The allocation-free core of [`pcg`]: `x` carries the starting guess in
+/// and the solution out, and all working vectors live in `scratch`.
+///
+/// Apart from the optional residual history, the solve performs no
+/// allocation once `scratch` has reached the right dimension.
+///
+/// # Panics
+///
+/// Panics if `b.len()` or `x.len()` differ from the operator dimension.
+pub fn pcg_scratch<A, M>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    opts: &PcgOptions,
+    scratch: &mut PcgScratch,
+) -> SolveStats
+where
+    A: LinearOperator + ?Sized,
+    M: Preconditioner + ?Sized,
+{
     let n = a.dim();
     assert_eq!(b.len(), n, "pcg: b length mismatch");
-    assert_eq!(x0.len(), n, "pcg: x0 length mismatch");
+    assert_eq!(x.len(), n, "pcg: x length mismatch");
+    scratch.resize(n);
+    let PcgScratch { b: bc, r, z, p, ap } = scratch;
 
-    let mut b = b.to_vec();
+    bc.copy_from_slice(b);
     if opts.center {
-        dense::center(&mut b);
+        dense::center(bc);
     }
-    let bnorm = dense::norm2(&b).max(f64::MIN_POSITIVE);
+    let bnorm = dense::norm2(bc).max(f64::MIN_POSITIVE);
 
-    let mut x = x0.to_vec();
-    let mut r = vec![0.0; n];
-    a.apply(&x, &mut r);
-    for (ri, bi) in r.iter_mut().zip(&b) {
+    a.apply(x, r);
+    for (ri, bi) in r.iter_mut().zip(bc.iter()) {
         *ri = bi - *ri;
     }
     if opts.center {
-        dense::center(&mut r);
+        dense::center(r);
     }
 
-    let mut z = vec![0.0; n];
-    m.apply(&r, &mut z);
+    m.apply(r, z);
     if opts.center {
-        dense::center(&mut z);
+        dense::center(z);
     }
-    let mut p = z.clone();
-    let mut rz = dense::dot(&r, &z);
-    let mut ap = vec![0.0; n];
+    p.copy_from_slice(z);
+    let mut rz = dense::dot(r, z);
     let mut history = Vec::new();
 
-    let mut rel = dense::norm2(&r) / bnorm;
+    let mut rel = dense::norm2(r) / bnorm;
     if opts.record_history {
         history.push(rel);
     }
     let mut iterations = 0;
     while rel > opts.tol && iterations < opts.max_iter {
-        a.apply(&p, &mut ap);
-        let pap = dense::dot(&p, &ap);
+        a.apply(p, ap);
+        let pap = dense::dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Breakdown: operator not SPD on this subspace; stop with what
             // we have rather than dividing by zero.
             break;
         }
         let alpha = rz / pap;
-        dense::axpy(alpha, &p, &mut x);
-        dense::axpy(-alpha, &ap, &mut r);
+        dense::axpy(alpha, p, x);
+        dense::axpy(-alpha, ap, r);
         if opts.center {
-            dense::center(&mut r);
+            dense::center(r);
         }
         iterations += 1;
-        rel = dense::norm2(&r) / bnorm;
+        rel = dense::norm2(r) / bnorm;
         if opts.record_history {
             history.push(rel);
         }
         if rel <= opts.tol {
             break;
         }
-        m.apply(&r, &mut z);
+        m.apply(r, z);
         if opts.center {
-            dense::center(&mut z);
+            dense::center(z);
         }
-        let rz_new = dense::dot(&r, &z);
+        let rz_new = dense::dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for (pi, zi) in p.iter_mut().zip(&z) {
+        for (pi, zi) in p.iter_mut().zip(z.iter()) {
             *pi = zi + beta * *pi;
         }
     }
     if opts.center {
-        dense::center(&mut x);
+        dense::center(x);
     }
-    let stats = SolveStats {
+    SolveStats {
         iterations,
         relative_residual: rel,
         converged: rel <= opts.tol,
         residual_history: history,
-    };
-    (x, stats)
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +246,10 @@ mod tests {
         coo.push(1, 1, 3.0);
         coo.push_sym(0, 1, 1.0);
         let a = coo.to_csr();
-        let opts = PcgOptions { center: false, ..Default::default() };
+        let opts = PcgOptions {
+            center: false,
+            ..Default::default()
+        };
         // Solution of [[4,1],[1,3]] x = [6, 7] is x = [1, 2].
         let (x, stats) = pcg(&a, &[6.0, 7.0], &IdentityPrec, &opts);
         assert!(stats.converged);
@@ -204,7 +277,11 @@ mod tests {
         let mut b: Vec<f64> = (0..36).map(|i| i as f64).collect();
         sass_sparse::dense::center(&mut b);
         let (_, stats) = pcg(&l, &b, &m, &PcgOptions::default());
-        assert!(stats.iterations <= 2, "took {} iterations", stats.iterations);
+        assert!(
+            stats.iterations <= 2,
+            "took {} iterations",
+            stats.iterations
+        );
     }
 
     #[test]
@@ -222,7 +299,11 @@ mod tests {
         let tp = TreePrec::new(TreeSolver::new(&g, &tree));
         let mut b: Vec<f64> = (0..g.n()).map(|i| ((i % 17) as f64) - 8.0).collect();
         sass_sparse::dense::center(&mut b);
-        let opts = PcgOptions { tol: 1e-8, max_iter: 20_000, ..Default::default() };
+        let opts = PcgOptions {
+            tol: 1e-8,
+            max_iter: 20_000,
+            ..Default::default()
+        };
         let (_, s_tree) = pcg(&l, &b, &tp, &opts);
         let (_, s_id) = pcg(&l, &b, &IdentityPrec, &opts);
         assert!(s_tree.converged && s_id.converged);
@@ -241,7 +322,10 @@ mod tests {
         let mut b = vec![0.0; 64];
         b[0] = 1.0;
         b[63] = -1.0;
-        let opts = PcgOptions { record_history: true, ..Default::default() };
+        let opts = PcgOptions {
+            record_history: true,
+            ..Default::default()
+        };
         let (_, stats) = pcg(&l, &b, &JacobiPrec::new(&l), &opts);
         assert_eq!(stats.residual_history.len(), stats.iterations + 1);
         assert!(stats.residual_history.last().unwrap() <= &opts.tol);
@@ -253,7 +337,11 @@ mod tests {
         let l = g.laplacian();
         let mut b: Vec<f64> = (0..g.n()).map(|i| (i as f64).sin()).collect();
         sass_sparse::dense::center(&mut b);
-        let opts = PcgOptions { max_iter: 3, tol: 1e-14, ..Default::default() };
+        let opts = PcgOptions {
+            max_iter: 3,
+            tol: 1e-14,
+            ..Default::default()
+        };
         let (_, stats) = pcg(&l, &b, &IdentityPrec, &opts);
         assert_eq!(stats.iterations, 3);
         assert!(!stats.converged);

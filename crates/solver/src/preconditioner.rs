@@ -1,5 +1,6 @@
-use crate::{GroundedSolver, TreeSolver};
+use crate::{GroundedScratch, GroundedSolver, TreeSolver};
 use sass_sparse::CsrMatrix;
+use std::cell::RefCell;
 
 /// Application of an (approximate) inverse: `z ≈ A⁻¹ r`.
 ///
@@ -65,12 +66,19 @@ impl Preconditioner for JacobiPrec {
 #[derive(Debug, Clone)]
 pub struct LaplacianPrec {
     solver: GroundedSolver,
+    // Reused across applications so the PCG hot loop is allocation-free.
+    // (Makes the preconditioner !Sync; clone it per thread instead of
+    // sharing one across threads.)
+    scratch: RefCell<GroundedScratch>,
 }
 
 impl LaplacianPrec {
     /// Wraps a grounded factorization of the preconditioning Laplacian.
     pub fn new(solver: GroundedSolver) -> Self {
-        LaplacianPrec { solver }
+        LaplacianPrec {
+            solver,
+            scratch: RefCell::new(GroundedScratch::new()),
+        }
     }
 
     /// Access to the underlying grounded solver.
@@ -81,7 +89,8 @@ impl LaplacianPrec {
 
 impl Preconditioner for LaplacianPrec {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        self.solver.solve_into(r, z);
+        self.solver
+            .solve_into_scratch(r, z, &mut self.scratch.borrow_mut());
     }
 }
 

@@ -56,7 +56,11 @@ impl TreeSolver {
                 parent_weight[v] = g.edge(id as usize).weight;
             }
         }
-        TreeSolver { order: tree.bfs_order().to_vec(), parent, parent_weight }
+        TreeSolver {
+            order: tree.bfs_order().to_vec(),
+            parent,
+            parent_weight,
+        }
     }
 
     /// Dimension of the system.
@@ -111,8 +115,8 @@ impl TreeSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sass_graph::spanning;
     use sass_graph::generators::{grid2d, WeightModel};
+    use sass_graph::spanning;
     use sass_sparse::ordering::OrderingKind;
 
     fn tree_of(g: &Graph) -> RootedTree {

@@ -29,7 +29,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty `nrows × ncols` triplet matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty triplet matrix with space reserved for `cap` entries.
@@ -65,7 +71,8 @@ impl CooMatrix {
     /// Panics if `row` or `col` is out of bounds. Use [`CooMatrix::try_push`]
     /// for a fallible variant.
     pub fn push(&mut self, row: usize, col: usize, val: f64) {
-        self.try_push(row, col, val).expect("coo index out of bounds");
+        self.try_push(row, col, val)
+            .expect("coo index out of bounds");
     }
 
     /// Appends the triplet `(row, col, val)`.

@@ -51,13 +51,26 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(indptr.len(), nrows + 1, "indptr length must be nrows + 1");
         assert_eq!(indices.len(), data.len(), "indices/data length mismatch");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end mismatch");
-        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr not monotone");
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr end mismatch"
+        );
+        assert!(
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr not monotone"
+        );
         assert!(
             indices.iter().all(|&c| (c as usize) < ncols),
             "column index out of range"
         );
-        CsrMatrix { nrows, ncols, indptr, indices, data }
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -163,6 +176,35 @@ impl CsrMatrix {
         }
     }
 
+    /// Matrix-vector product into a caller-provided buffer, using the
+    /// threaded fast path when the matrix is large enough to amortize it.
+    ///
+    /// Falls back to [`CsrMatrix::mul_vec_into`] below a size crossover, and
+    /// produces **bit-for-bit identical** results to it in all cases (rows
+    /// are accumulated by the same loop in the same order; only the row →
+    /// worker assignment is parallel). This is what
+    /// [`LinearOperator::apply`](crate::LinearOperator) routes through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    #[cfg(feature = "parallel")]
+    pub fn par_mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        crate::parallel::par_spmv(self, x, y);
+    }
+
+    /// Allocating form of [`CsrMatrix::par_mul_vec_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    #[cfg(feature = "parallel")]
+    pub fn par_mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.par_mul_vec_into(x, &mut y);
+        y
+    }
+
     /// Quadratic form `xᵀ A x`.
     ///
     /// # Panics
@@ -257,7 +299,10 @@ impl CsrMatrix {
     /// not match, or [`SparseError::NotSquare`] for rectangular input.
     pub fn permute_sym(&self, perm: &Permutation) -> Result<CsrMatrix> {
         if self.nrows != self.ncols {
-            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
         }
         if perm.len() != self.nrows {
             return Err(SparseError::ShapeMismatch {
@@ -287,7 +332,10 @@ impl CsrMatrix {
     ///
     /// Panics if `keep.len() != nrows` or the matrix is not square.
     pub fn principal_submatrix(&self, keep: &[bool]) -> (CsrMatrix, Vec<usize>) {
-        assert_eq!(self.nrows, self.ncols, "principal submatrix of square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "principal submatrix of square matrix"
+        );
         assert_eq!(keep.len(), self.nrows, "keep mask length mismatch");
         let mut new_of_old = vec![usize::MAX; self.nrows];
         let mut old_of_new = Vec::new();
@@ -313,7 +361,10 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        (CsrMatrix::from_raw_parts(m, m, indptr, indices, data), old_of_new)
+        (
+            CsrMatrix::from_raw_parts(m, m, indptr, indices, data),
+            old_of_new,
+        )
     }
 
     /// Converts back to triplet form.

@@ -52,7 +52,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
             ),
@@ -60,7 +65,10 @@ impl fmt::Display for SparseError {
                 write!(f, "shape mismatch: {context}")
             }
             SparseError::ZeroPivot { column } => {
-                write!(f, "zero or indefinite pivot at factorization column {column}")
+                write!(
+                    f,
+                    "zero or indefinite pivot at factorization column {column}"
+                )
             }
             SparseError::NotSquare { nrows, ncols } => {
                 write!(f, "matrix is {nrows}x{ncols}, expected square")
@@ -78,7 +86,9 @@ impl Error for SparseError {}
 
 impl From<std::io::Error> for SparseError {
     fn from(err: std::io::Error) -> Self {
-        SparseError::Io { message: err.to_string() }
+        SparseError::Io {
+            message: err.to_string(),
+        }
     }
 }
 
@@ -88,7 +98,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SparseError::IndexOutOfBounds { row: 5, col: 2, nrows: 3, ncols: 3 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 2,
+            nrows: 3,
+            ncols: 3,
+        };
         let s = e.to_string();
         assert!(s.contains("(5, 2)"));
         assert!(s.contains("3x3"));

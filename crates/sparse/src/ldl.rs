@@ -86,7 +86,10 @@ impl LdlFactor {
     /// definite after grounding).
     pub fn new(a: &CsrMatrix, kind: OrderingKind) -> Result<Self> {
         if a.nrows() != a.ncols() {
-            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let perm = ordering::compute(a, kind)?;
         Self::with_permutation(a, perm)
@@ -101,7 +104,10 @@ impl LdlFactor {
     /// rectangular input, or [`SparseError::ZeroPivot`] on pivot breakdown.
     pub fn with_permutation(a: &CsrMatrix, perm: Permutation) -> Result<Self> {
         if a.nrows() != a.ncols() {
-            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let b = a.permute_sym(&perm)?;
@@ -188,7 +194,14 @@ impl LdlFactor {
             }
         }
 
-        Ok(LdlFactor { n, perm, lp, li, lx, d })
+        Ok(LdlFactor {
+            n,
+            perm,
+            lp,
+            li,
+            lx,
+            d,
+        })
     }
 
     /// Matrix dimension.
@@ -237,11 +250,24 @@ impl LdlFactor {
     ///
     /// Panics if `b.len() != n` or `x.len() != n`.
     pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        self.solve_into_scratch(b, x, &mut Vec::new());
+    }
+
+    /// [`LdlFactor::solve_into`] with a caller-owned work buffer, so
+    /// repeated solves (iterative refinement, shift-invert Lanczos, PCG
+    /// preconditioning) allocate nothing after the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `x.len() != n`.
+    pub fn solve_into_scratch(&self, b: &[f64], x: &mut [f64], work: &mut Vec<f64>) {
         assert_eq!(b.len(), self.n, "solve: b length mismatch");
         assert_eq!(x.len(), self.n, "solve: x length mismatch");
-        // Work in permuted coordinates: y = P b.
+        // Work in permuted coordinates: y = P b. The permutation scatter
+        // writes every entry, so stale contents need no zeroing.
         let new_of_old = self.perm.new_of_old();
-        let mut y = vec![0.0; self.n];
+        work.resize(self.n, 0.0);
+        let y = work;
         for (old, &new) in new_of_old.iter().enumerate() {
             y[new] = b[old];
         }

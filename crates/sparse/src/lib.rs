@@ -4,7 +4,11 @@
 //! from a sparse linear-algebra library, implemented from scratch:
 //!
 //! - [`CooMatrix`]: triplet assembly format with duplicate summing,
-//! - [`CsrMatrix`]: compressed sparse row storage with matrix-vector kernels,
+//! - [`CsrMatrix`]: compressed sparse row storage with matrix-vector kernels
+//!   (threaded above a size crossover when the default `parallel` feature is
+//!   on — see [`CsrMatrix::par_mul_vec_into`]),
+//! - [`LinearOperator`]: the matrix-free `y = A x` abstraction every
+//!   iterative method in the workspace is built on,
 //! - [`LdlFactor`]: an up-looking sparse `L D Lᵀ` factorization
 //!   (CSparse/LDL style) with elimination-tree symbolic analysis,
 //! - fill-reducing orderings ([`ordering`]): reverse Cuthill–McKee,
@@ -41,6 +45,9 @@ mod coo;
 mod csr;
 mod error;
 mod ldl;
+mod operator;
+#[cfg(feature = "parallel")]
+mod parallel;
 mod perm;
 
 pub mod dense;
@@ -51,6 +58,7 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use ldl::LdlFactor;
+pub use operator::LinearOperator;
 pub use perm::Permutation;
 
 /// Crate-wide result alias.

@@ -42,7 +42,10 @@ enum Symmetry {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> SparseError {
-    SparseError::ParseMatrixMarket { line, message: message.into() }
+    SparseError::ParseMatrixMarket {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Reads a Matrix Market matrix from any reader.
@@ -68,7 +71,10 @@ pub fn read<R: Read>(reader: R) -> Result<CooMatrix> {
         return Err(parse_err(lineno, "missing %%MatrixMarket header"));
     }
     if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
-        return Err(parse_err(lineno, "only `matrix coordinate` files are supported"));
+        return Err(parse_err(
+            lineno,
+            "only `matrix coordinate` files are supported",
+        ));
     }
     let field = match toks[3].to_ascii_lowercase().as_str() {
         "real" => Field::Real,
@@ -96,9 +102,15 @@ pub fn read<R: Read>(reader: R) -> Result<CooMatrix> {
         if parts.len() != 3 {
             return Err(parse_err(i + 1, "size line must have 3 fields"));
         }
-        nrows = parts[0].parse().map_err(|_| parse_err(i + 1, "bad row count"))?;
-        ncols = parts[1].parse().map_err(|_| parse_err(i + 1, "bad column count"))?;
-        nnz = parts[2].parse().map_err(|_| parse_err(i + 1, "bad nnz count"))?;
+        nrows = parts[0]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad row count"))?;
+        ncols = parts[1]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad column count"))?;
+        nnz = parts[2]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad nnz count"))?;
         have_size = true;
         size_line = i + 1;
         break;
@@ -110,7 +122,11 @@ pub fn read<R: Read>(reader: R) -> Result<CooMatrix> {
     let mut coo = CooMatrix::with_capacity(
         nrows,
         ncols,
-        if symmetry == Symmetry::Symmetric { 2 * nnz } else { nnz },
+        if symmetry == Symmetry::Symmetric {
+            2 * nnz
+        } else {
+            nnz
+        },
     );
     let mut read_entries = 0usize;
     for (i, line) in &mut lines {
@@ -125,18 +141,25 @@ pub fn read<R: Read>(reader: R) -> Result<CooMatrix> {
         let parts: Vec<&str> = t.split_whitespace().collect();
         let expect = if field == Field::Pattern { 2 } else { 3 };
         if parts.len() < expect {
-            return Err(parse_err(i + 1, format!("entry line needs {expect} fields")));
+            return Err(parse_err(
+                i + 1,
+                format!("entry line needs {expect} fields"),
+            ));
         }
-        let r: usize = parts[0].parse().map_err(|_| parse_err(i + 1, "bad row index"))?;
-        let c: usize = parts[1].parse().map_err(|_| parse_err(i + 1, "bad column index"))?;
+        let r: usize = parts[0]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad row index"))?;
+        let c: usize = parts[1]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad column index"))?;
         if r == 0 || c == 0 || r > nrows || c > ncols {
             return Err(parse_err(i + 1, "index out of bounds (1-based)"));
         }
         let v = match field {
             Field::Pattern => 1.0,
-            Field::Real | Field::Integer => {
-                parts[2].parse::<f64>().map_err(|_| parse_err(i + 1, "bad value"))?
-            }
+            Field::Real | Field::Integer => parts[2]
+                .parse::<f64>()
+                .map_err(|_| parse_err(i + 1, "bad value"))?,
         };
         let (r, c) = (r - 1, c - 1);
         coo.push(r, c, v);
@@ -146,7 +169,10 @@ pub fn read<R: Read>(reader: R) -> Result<CooMatrix> {
         read_entries += 1;
     }
     if read_entries != nnz {
-        return Err(parse_err(0, format!("expected {nnz} entries, found {read_entries}")));
+        return Err(parse_err(
+            0,
+            format!("expected {nnz} entries, found {read_entries}"),
+        ));
     }
     Ok(coo)
 }

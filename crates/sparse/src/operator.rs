@@ -1,7 +1,17 @@
-use sass_sparse::CsrMatrix;
+//! The [`LinearOperator`] abstraction — the primitive the whole workspace is
+//! layered on.
+//!
+//! Matrix-vector application is what iterative solvers (`sass-solver`),
+//! eigensolvers (`sass-eigen`) and graph filters (`sass-gsp`) actually
+//! consume; none of them need to know whether the operator is a stored
+//! [`CsrMatrix`], a factorized pseudoinverse, or a composed pencil. Keeping
+//! the trait here, in the lowest-level crate, lets every layer name it
+//! without depending on the solver stack.
+
+use crate::CsrMatrix;
 
 /// A symmetric linear operator `y = A x`, the abstraction consumed by
-/// [`pcg`](crate::pcg) and the eigensolvers in `sass-eigen`.
+/// `pcg` and the eigensolvers in `sass-eigen`.
 ///
 /// Implemented for [`CsrMatrix`] directly; matrix-free operators (e.g. the
 /// generalized pencil `L_P⁺ L_G`) implement it in their own crates.
@@ -30,7 +40,14 @@ impl LinearOperator for CsrMatrix {
         self.nrows()
     }
 
+    /// Routes through the threaded fast path when the `parallel` feature is
+    /// enabled; [`CsrMatrix::par_mul_vec_into`] itself falls back to the
+    /// serial kernel below its size crossover, so small operators pay no
+    /// thread overhead.
     fn apply(&self, x: &[f64], y: &mut [f64]) {
+        #[cfg(feature = "parallel")]
+        self.par_mul_vec_into(x, y);
+        #[cfg(not(feature = "parallel"))]
         self.mul_vec_into(x, y);
     }
 }
@@ -48,7 +65,7 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sass_sparse::CooMatrix;
+    use crate::CooMatrix;
 
     #[test]
     fn csr_is_an_operator() {

@@ -118,8 +118,11 @@ fn pseudo_peripheral(
         }
         ecc = last_level;
         // Farthest node with minimum degree.
-        let far: Vec<usize> =
-            order.iter().copied().filter(|&v| level[v] == last_level).collect();
+        let far: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&v| level[v] == last_level)
+            .collect();
         u = far.into_iter().min_by_key(|&v| deg[v]).unwrap();
     }
     u
@@ -139,8 +142,16 @@ fn rcm_order(a: &CsrMatrix) -> Vec<usize> {
         if in_order[seed] {
             continue;
         }
-        let start =
-            pseudo_peripheral(a, seed, &stamp, 0, &mut level, &mut visited, &mut mark, &deg);
+        let start = pseudo_peripheral(
+            a,
+            seed,
+            &stamp,
+            0,
+            &mut level,
+            &mut visited,
+            &mut mark,
+            &deg,
+        );
         // Cuthill–McKee BFS with degree-sorted neighbor expansion.
         let mut queue = vec![start];
         in_order[start] = true;
@@ -328,7 +339,15 @@ fn nested_dissection_order(a: &CsrMatrix) -> Vec<usize> {
             if visited[s] == comp_mark || region[s] != rid {
                 continue;
             }
-            comps.push(bfs_levels(a, s, &region, rid, &mut level, &mut visited, comp_mark));
+            comps.push(bfs_levels(
+                a,
+                s,
+                &region,
+                rid,
+                &mut level,
+                &mut visited,
+                comp_mark,
+            ));
         }
         for comp in comps {
             if comp.len() <= LEAF {
@@ -336,7 +355,14 @@ fn nested_dissection_order(a: &CsrMatrix) -> Vec<usize> {
                 continue;
             }
             let start = pseudo_peripheral(
-                a, comp[0], &region, rid, &mut level, &mut visited, &mut mark, &deg,
+                a,
+                comp[0],
+                &region,
+                rid,
+                &mut level,
+                &mut visited,
+                &mut mark,
+                &deg,
             );
             mark += 1;
             let bfs = bfs_levels(a, start, &region, rid, &mut level, &mut visited, mark);
@@ -435,7 +461,11 @@ mod tests {
             coo.push(i, i, 2.0);
         }
         let a = coo.to_csr();
-        for kind in [OrderingKind::Rcm, OrderingKind::MinDegree, OrderingKind::NestedDissection] {
+        for kind in [
+            OrderingKind::Rcm,
+            OrderingKind::MinDegree,
+            OrderingKind::NestedDissection,
+        ] {
             let p = compute(&a, kind).unwrap();
             assert_is_permutation(&p, 6);
         }
@@ -445,7 +475,11 @@ mod tests {
     fn handles_empty_and_singleton() {
         let empty = CooMatrix::new(0, 0).to_csr();
         let single = CsrMatrix::identity(1);
-        for kind in [OrderingKind::Rcm, OrderingKind::MinDegree, OrderingKind::NestedDissection] {
+        for kind in [
+            OrderingKind::Rcm,
+            OrderingKind::MinDegree,
+            OrderingKind::NestedDissection,
+        ] {
             assert_eq!(compute(&empty, kind).unwrap().len(), 0);
             assert_eq!(compute(&single, kind).unwrap().len(), 1);
         }
@@ -479,7 +513,10 @@ mod tests {
         let natural = fill(&a, OrderingKind::Natural);
         let nd = fill(&a, OrderingKind::NestedDissection);
         let md = fill(&a, OrderingKind::MinDegree);
-        assert!(nd < natural, "nested dissection fill {nd} >= natural {natural}");
+        assert!(
+            nd < natural,
+            "nested dissection fill {nd} >= natural {natural}"
+        );
         assert!(md < natural, "min degree fill {md} >= natural {natural}");
     }
 
@@ -499,7 +536,10 @@ mod tests {
         // Once only the hub and one leaf remain both have degree 1, so the
         // hub must be one of the last two eliminated.
         let pos_of_hub = p.new_of_old()[0];
-        assert!(pos_of_hub >= n - 2, "hub eliminated too early at {pos_of_hub}");
+        assert!(
+            pos_of_hub >= n - 2,
+            "hub eliminated too early at {pos_of_hub}"
+        );
         assert_eq!(fill(&a, OrderingKind::MinDegree), n - 1);
     }
 }

@@ -1,0 +1,179 @@
+//! Threaded SpMV fast path (the default-on `parallel` feature).
+//!
+//! Rows are partitioned into one contiguous, nnz-balanced span per worker;
+//! each worker owns a disjoint slice of the output vector, so the kernel
+//! needs no synchronization beyond the scoped join. Every row is accumulated
+//! by exactly the same loop as the serial kernel, in the same order — the
+//! parallel product is **bit-for-bit identical** to
+//! [`CsrMatrix::mul_vec_into`] (a property the sparse proptests pin down).
+//!
+//! The environment has no `rayon` (offline build, see `shims/`), so the
+//! backend is `std::thread::scope` over OS threads. Spawning is the dominant
+//! fixed cost, which is why [`CsrMatrix::par_mul_vec_into`] falls back to
+//! the serial kernel below a size crossover: for small operators the spawn
+//! alone costs more than the whole product. The `spmv` bench in
+//! `sass-bench` records the serial-vs-parallel baseline
+//! (`BENCH_SPMV.json`); on single-core machines the crossover resolves to
+//! one worker and the fast path is the serial kernel by construction.
+
+use crate::CsrMatrix;
+
+/// Below this many rows the serial kernel wins regardless of density.
+const MIN_PAR_ROWS: usize = 8_192;
+/// Below this many stored entries the serial kernel wins.
+const MIN_PAR_NNZ: usize = 100_000;
+/// Minimum stored entries per spawned worker; caps worker count for
+/// matrices barely above the crossover.
+const MIN_NNZ_PER_WORKER: usize = 32_768;
+
+/// Number of workers to use for a matrix with `nnz` stored entries, `0` or
+/// `1` meaning "stay serial".
+fn worker_count(nrows: usize, nnz: usize) -> usize {
+    if nrows < MIN_PAR_ROWS || nnz < MIN_PAR_NNZ {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    hw.min(nnz / MIN_NNZ_PER_WORKER).max(1)
+}
+
+/// Splits `0..nrows` into `k` contiguous spans of roughly equal nnz, using
+/// the CSR row pointer as an exact prefix-sum of work.
+fn balanced_row_spans(indptr: &[usize], k: usize) -> Vec<(usize, usize)> {
+    let nrows = indptr.len() - 1;
+    let nnz = indptr[nrows];
+    let mut spans = Vec::with_capacity(k);
+    let mut row = 0;
+    for w in 0..k {
+        let target = nnz * (w + 1) / k;
+        let end = if w + 1 == k {
+            nrows
+        } else {
+            // First row boundary at or past this worker's nnz share.
+            let mut e = indptr[row..].partition_point(|&p| p < target) + row;
+            e = e.clamp(row, nrows);
+            e
+        };
+        spans.push((row, end));
+        row = end;
+    }
+    spans
+}
+
+pub(crate) fn par_spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    par_spmv_with_workers(a, x, y, worker_count(a.nrows(), a.nnz()));
+}
+
+/// [`par_spmv`] with an explicit worker count (also what the tests use to
+/// force the threaded path on single-core machines).
+fn par_spmv_with_workers(a: &CsrMatrix, x: &[f64], y: &mut [f64], workers: usize) {
+    assert_eq!(x.len(), a.ncols(), "mul_vec: x length mismatch");
+    assert_eq!(y.len(), a.nrows(), "mul_vec: y length mismatch");
+    if workers <= 1 {
+        a.mul_vec_into(x, y);
+        return;
+    }
+    let indptr = a.indptr();
+    let indices = a.indices();
+    let data = a.data();
+    let spans = balanced_row_spans(indptr, workers);
+    std::thread::scope(|scope| {
+        let mut rest = y;
+        let mut offset = 0;
+        for &(lo, hi) in &spans {
+            let (chunk, tail) = rest.split_at_mut(hi - offset);
+            rest = tail;
+            offset = hi;
+            // Skewed nnz (hub rows) can produce empty spans; don't spawn
+            // for them.
+            if lo == hi {
+                continue;
+            }
+            scope.spawn(move || {
+                for i in lo..hi {
+                    let mut acc = 0.0;
+                    for p in indptr[i]..indptr[i + 1] {
+                        acc += data[p] * x[indices[p] as usize];
+                    }
+                    chunk[i - lo] = acc;
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn random_ish_matrix(n: usize, per_row: usize) -> CsrMatrix {
+        // Deterministic scatter without an RNG dependency.
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, per_row as f64 + 1.0);
+            for k in 0..per_row {
+                let j = (i * 31 + k * 97 + 13) % n;
+                if j != i {
+                    coo.push(i, j, ((i + k) % 7) as f64 * 0.25 - 0.5);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn spans_cover_all_rows_disjointly() {
+        let a = random_ish_matrix(10_001, 5);
+        for k in 1..=7 {
+            let spans = balanced_row_spans(a.indptr(), k);
+            assert_eq!(spans.len(), k);
+            assert_eq!(spans[0].0, 0);
+            assert_eq!(spans[k - 1].1, a.nrows());
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit_above_crossover() {
+        // Big enough to take the threaded path under auto worker counting.
+        let a = random_ish_matrix(MIN_PAR_ROWS * 2, 8);
+        assert!(a.nnz() >= MIN_PAR_NNZ);
+        let x: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i % 1_000) as f64) * 0.001 - 0.5)
+            .collect();
+        let mut serial = vec![0.0; a.nrows()];
+        let mut parallel = vec![0.0; a.nrows()];
+        a.mul_vec_into(&x, &mut serial);
+        par_spmv(&a, &x, &mut parallel);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn forced_multi_worker_matches_serial_bit_for_bit() {
+        // `available_parallelism` may be 1 on CI machines, which would turn
+        // the test above into a serial-vs-serial comparison; force real
+        // thread fan-out to exercise the scoped-thread kernel itself.
+        let a = random_ish_matrix(4_096, 6);
+        let x: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i * 17 % 301) as f64) * 0.01 - 1.5)
+            .collect();
+        let mut serial = vec![0.0; a.nrows()];
+        a.mul_vec_into(&x, &mut serial);
+        for workers in [2, 3, 5, 8] {
+            let mut parallel = vec![0.0; a.nrows()];
+            par_spmv_with_workers(&a, &x, &mut parallel, workers);
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn small_matrices_stay_serial_and_correct() {
+        let a = random_ish_matrix(64, 3);
+        let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut y = vec![0.0; 64];
+        par_spmv(&a, &x, &mut y);
+        assert_eq!(y, a.mul_vec(&x));
+    }
+}

@@ -29,7 +29,10 @@ impl Permutation {
     /// The identity permutation of length `n`.
     pub fn identity(n: usize) -> Self {
         let v: Vec<usize> = (0..n).collect();
-        Permutation { new_of_old: v.clone(), old_of_new: v }
+        Permutation {
+            new_of_old: v.clone(),
+            old_of_new: v,
+        }
     }
 
     /// Builds a permutation from the new-of-old direction.
@@ -49,7 +52,10 @@ impl Permutation {
             }
             old_of_new[new] = old;
         }
-        Ok(Permutation { new_of_old, old_of_new })
+        Ok(Permutation {
+            new_of_old,
+            old_of_new,
+        })
     }
 
     /// Builds a permutation from the old-of-new direction (an *ordering*:
@@ -70,7 +76,10 @@ impl Permutation {
             }
             new_of_old[old] = new;
         }
-        Ok(Permutation { new_of_old, old_of_new })
+        Ok(Permutation {
+            new_of_old,
+            old_of_new,
+        })
     }
 
     /// Length of the permutation.
@@ -123,7 +132,10 @@ impl Permutation {
 
     /// The inverse permutation as a new `Permutation`.
     pub fn inverse(&self) -> Permutation {
-        Permutation { new_of_old: self.old_of_new.clone(), old_of_new: self.new_of_old.clone() }
+        Permutation {
+            new_of_old: self.old_of_new.clone(),
+            old_of_new: self.new_of_old.clone(),
+        }
     }
 }
 

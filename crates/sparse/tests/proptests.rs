@@ -12,10 +12,7 @@ use sass_sparse::{CooMatrix, CsrMatrix, LdlFactor, Permutation};
 /// `n in [2, 24]` with `k` random symmetric off-diagonal entries.
 fn spd_matrix() -> impl Strategy<Value = CsrMatrix> {
     (2usize..24).prop_flat_map(|n| {
-        let entries = proptest::collection::vec(
-            (0usize..n, 0usize..n, -1.0f64..1.0),
-            0..(3 * n),
-        );
+        let entries = proptest::collection::vec((0usize..n, 0usize..n, -1.0f64..1.0), 0..(3 * n));
         (Just(n), entries).prop_map(|(n, entries)| {
             let mut coo = CooMatrix::new(n, n);
             let mut row_abs = vec![0.0f64; n];
@@ -152,6 +149,28 @@ proptest! {
         prop_assert_eq!(p.apply_inverse(&p.apply(&x)), x.clone());
         let double_inverse = p.inverse().inverse();
         prop_assert_eq!(double_inverse.new_of_old(), p.new_of_old());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_spmv_is_bit_for_bit_serial(a in spd_matrix(), seed in 0u64..1000) {
+        // The threaded fast path must be *exactly* the serial kernel's
+        // result — same per-row accumulation order — on any input, not
+        // merely close. (Matrices this size take the serial fallback; the
+        // unit tests in `parallel.rs` pin the same property above the
+        // crossover.)
+        use rand::{Rng, SeedableRng};
+        let n = a.nrows();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let mut serial = vec![0.0; n];
+        let mut parallel = vec![0.0; n];
+        a.mul_vec_into(&x, &mut serial);
+        a.par_mul_vec_into(&x, &mut parallel);
+        prop_assert_eq!(&serial, &parallel);
+        // And the LinearOperator route resolves to the same bits.
+        use sass_sparse::LinearOperator;
+        prop_assert_eq!(a.apply_vec(&x), serial);
     }
 
     #[test]

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t0.elapsed()
     );
 
-    let opts = LanczosOptions { max_dim: 200, tol: 1e-6, seed: 4 };
+    let opts = LanczosOptions {
+        max_dim: 200,
+        tol: 1e-6,
+        seed: 4,
+    };
     let lg = g.laplacian();
     let t0 = Instant::now();
     let eo = lanczos_smallest_laplacian(&lg, 10, OrderingKind::MinDegree, &opts)?;
@@ -36,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_sp = t0.elapsed();
 
     println!("\nfirst 10 nontrivial Laplacian eigenvalues:");
-    println!("{:>4}  {:>12}  {:>12}  {:>8}", "k", "original", "sparsified", "ratio");
+    println!(
+        "{:>4}  {:>12}  {:>12}  {:>8}",
+        "k", "original", "sparsified", "ratio"
+    );
     for (k, (a, b)) in eo.eigenvalues.iter().zip(&es.eigenvalues).enumerate() {
         println!("{:>4}  {:>12.6}  {:>12.6}  {:>8.3}", k + 2, a, b, b / a);
     }

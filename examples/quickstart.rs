@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sp.tree_edge_ids().len(),
         sp.added_edge_ids().len()
     );
-    println!("converged: {} (estimated condition {:.1})", sp.converged(), sp.condition_estimate());
+    println!(
+        "converged: {} (estimated condition {:.1})",
+        sp.converged(),
+        sp.condition_estimate()
+    );
 
     println!("\ndensification rounds:");
     println!("round  edges  lambda_max  lambda_min  condition  candidates  added");

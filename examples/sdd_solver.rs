@@ -19,29 +19,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(1);
     let mut b: Vec<f64> = (0..g.n()).map(|_| rng.gen_range(-1.0..1.0)).collect();
     sass::sparse::dense::center(&mut b);
-    let opts = PcgOptions { tol: 1e-6, max_iter: 50_000, ..Default::default() };
+    let opts = PcgOptions {
+        tol: 1e-6,
+        max_iter: 50_000,
+        ..Default::default()
+    };
 
     println!("\npreconditioner                          iterations");
 
     // 1. No preconditioning.
     let (_, s) = pcg(&lg, &b, &IdentityPrec, &opts);
-    println!("identity                                {:>10}", s.iterations);
+    println!(
+        "identity                                {:>10}",
+        s.iterations
+    );
 
     // 2. Jacobi.
     let (_, s) = pcg(&lg, &b, &JacobiPrec::new(&lg), &opts);
-    println!("jacobi                                  {:>10}", s.iterations);
+    println!(
+        "jacobi                                  {:>10}",
+        s.iterations
+    );
 
     // 3. Spanning tree only (a sparsifier with zero off-tree edges).
     let tree_ids = spanning::max_weight_spanning_tree(&g)?;
     let tree = RootedTree::new(&g, tree_ids, 0)?;
     let (_, s) = pcg(&lg, &b, &TreePrec::new(TreeSolver::new(&g, &tree)), &opts);
-    println!("max-weight spanning tree                {:>10}", s.iterations);
+    println!(
+        "max-weight spanning tree                {:>10}",
+        s.iterations
+    );
 
     // 4. Similarity-aware sparsifiers at three similarity levels.
     for sigma2 in [400.0, 100.0, 25.0] {
         let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_seed(3))?;
-        let prec =
-            LaplacianPrec::new(GroundedSolver::new(&sp.graph().laplacian(), Default::default())?);
+        let prec = LaplacianPrec::new(GroundedSolver::new(
+            &sp.graph().laplacian(),
+            Default::default(),
+        )?);
         let (_, s) = pcg(&lg, &b, &prec, &opts);
         println!(
             "sparsifier sigma^2 = {:<6} ({:>6} edges) {:>10}",

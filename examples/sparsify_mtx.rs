@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let path = std::env::temp_dir().join("sass_demo_input.mtx");
         let g = sass::graph::generators::circuit_grid(48, 48, 0.1, 7);
         mmio::write_path(&g.laplacian(), &path)?;
-        println!("demo mode: wrote a 48x48 circuit-grid Laplacian to {}", path.display());
+        println!(
+            "demo mode: wrote a 48x48 circuit-grid Laplacian to {}",
+            path.display()
+        );
         (path, true)
     };
     let sigma2: f64 = args.get(2).map_or(Ok(100.0), |s| s.parse())?;

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Four planted communities with sparse inter-community noise.
     let sizes = [150, 150, 150, 150];
     let g = stochastic_block_model(&sizes, 0.15, 0.005, 21);
-    println!("SBM graph: |V| = {}, |E| = {}, 4 planted blocks", g.n(), g.m());
+    println!(
+        "SBM graph: |V| = {}, |E| = {}, 4 planted blocks",
+        g.n(),
+        g.m()
+    );
 
     let t0 = Instant::now();
     let c_orig = spectral_clustering(&g, 4, &ClusteringOptions::default())?;
@@ -46,8 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         agree as f64 / total as f64
     };
 
-    println!("\noriginal graph:   rand index {:.4}, cut weight {:.0}, eigensolve+kmeans {:.2?}",
-             accuracy(&c_orig.assignment), c_orig.cut_weight, t_orig);
+    println!(
+        "\noriginal graph:   rand index {:.4}, cut weight {:.0}, eigensolve+kmeans {:.2?}",
+        accuracy(&c_orig.assignment),
+        c_orig.cut_weight,
+        t_orig
+    );
     println!(
         "sparsifier ({} of {} edges): rand index {:.4}, cut weight {:.0}, {:.2?} (+{:.2?} sparsify)",
         sp.graph().m(),

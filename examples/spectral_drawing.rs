@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for d in 0..2 {
         let a: Vec<f64> = coords_g.iter().map(|c| c[d]).collect();
         let b: Vec<f64> = coords_p.iter().map(|c| c[d]).collect();
-        println!("axis u{} correlation: {:.4}", d + 2, drawing_correlation(&a, &b));
+        println!(
+            "axis u{} correlation: {:.4}",
+            d + 2,
+            drawing_correlation(&a, &b)
+        );
     }
     println!("\nshape to observe: the two drawings are nearly identical — the");
     println!("sparsifier preserves the low (smooth) end of the spectrum.");

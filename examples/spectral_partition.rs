@@ -18,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let direct = partition(
         &g,
         &PartitionOptions {
-            backend: Backend::Direct { ordering: OrderingKind::NestedDissection },
+            backend: Backend::Direct {
+                ordering: OrderingKind::NestedDissection,
+            },
             ..Default::default()
         },
     )?;
@@ -38,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &PartitionOptions {
             backend: Backend::Sparsified {
                 config: SparsifyConfig::new(200.0).with_seed(5),
-                pcg: PcgOptions { tol: 1e-6, ..Default::default() },
+                pcg: PcgOptions {
+                    tol: 1e-6,
+                    ..Default::default()
+                },
             },
             ..Default::default()
         },

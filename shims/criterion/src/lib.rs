@@ -1,0 +1,259 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! minimal, API-compatible subset of `criterion` covering what the SASS
+//! bench targets use: [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`] and [`black_box`].
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed for
+//! `sample_size` samples (one closure call per sample) bounded by a wall
+//! clock budget; the min / median / max sample times are printed in the
+//! familiar `time: [low mid high]` shape. When the `CRITERION_JSON`
+//! environment variable names a file, every result is also appended to it as
+//! one JSON object per line — the workspace's `BENCH_*.json` baselines are
+//! recorded that way.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Hard wall-clock budget per benchmark (warmup excluded).
+const MEASUREMENT_BUDGET: Duration = Duration::from_secs(5);
+/// Warmup budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (an implicit single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(None, &id.into(), 100, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is incremental).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter (upstream renders the function name;
+    /// this shim renders the parameter alone).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times the benchmark body handed to it by [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one timing sample per call, until the
+    /// configured sample count or the wall-clock budget is reached.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup: at least one call, until the warmup budget is spent.
+        let warmup_start = Instant::now();
+        loop {
+            black_box(f());
+            if warmup_start.elapsed() >= WARMUP_BUDGET {
+                break;
+            }
+        }
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples_ns.push(t0.elapsed().as_nanos());
+            if run_start.elapsed() >= MEASUREMENT_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(group: Option<&str>, id: &BenchmarkId, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let full_id = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let mut bencher = Bencher {
+        samples_ns: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples_ns;
+    if samples.is_empty() {
+        // The body never called `iter` — nothing to report.
+        println!("{full_id:<40} (no measurement)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let max = *samples.last().unwrap();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{full_id:<40} time:   [{} {} {}]  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        samples.len(),
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Err(e) = append_json(&path, &full_id, min, median, max, &samples) {
+            eprintln!("criterion shim: could not write {path}: {e}");
+        }
+    }
+}
+
+fn append_json(
+    path: &str,
+    id: &str,
+    min: u128,
+    median: u128,
+    max: u128,
+    samples: &[u128],
+) -> std::io::Result<()> {
+    let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        file,
+        "{{\"id\":\"{id}\",\"min_ns\":{min},\"median_ns\":{median},\"mean_ns\":{mean},\
+         \"max_ns\":{max},\"samples\":{}}}",
+        samples.len(),
+    )
+}
+
+fn fmt_ns(ns: u128) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the named groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

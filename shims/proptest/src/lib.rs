@@ -1,0 +1,130 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! minimal, API-compatible subset of `proptest` covering what the SASS test
+//! suites use: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`],
+//! [`ProptestConfig::with_cases`], the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, [`strategy::Just`], numeric-range and tuple
+//! strategies, and [`collection::vec`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (no persisted failure files) and failing inputs are **not
+//! shrunk** — the panic message carries the failing assertion instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The commonly used imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Runs each contained `#[test]` function over many generated inputs.
+///
+/// Supported grammar (the upstream subset used in this workspace):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, v in proptest::collection::vec(-1.0f64..1.0, 3)) {
+///         prop_assert!(v.len() == 3);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            while accepted < config.cases {
+                assert!(
+                    attempt < 16 * config.cases as u64 + 100,
+                    "proptest: too many prop_assume! rejections in {}",
+                    stringify!($name),
+                );
+                let mut runner_rng =
+                    $crate::test_runner::case_rng(concat!(module_path!(), "::", stringify!($name)), attempt);
+                attempt += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut runner_rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| { $body Ok(()) })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside [`proptest!`], failing the whole test.
+///
+/// (Upstream returns a `TestCaseError` so shrinking can run; this shim
+/// panics directly — equivalent observable behavior without shrinking.)
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "proptest assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Equality assertion inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Inequality assertion inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Discards the current generated case when the precondition fails; the
+/// runner draws a replacement input instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}

@@ -1,0 +1,41 @@
+//! Configuration and the per-case RNG used by the [`proptest!`](crate::proptest) runner.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Runner configuration (subset of upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this shim keeps the same default so
+        // un-configured properties get comparable coverage.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a generated case is discarded.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Deterministic RNG for one generated case: seeded from the fully qualified
+/// test name and the attempt index, so failures reproduce across runs
+/// without any persisted state.
+pub fn case_rng(test_path: &str, attempt: u64) -> StdRng {
+    let mut h = DefaultHasher::new();
+    test_path.hash(&mut h);
+    attempt.hash(&mut h);
+    StdRng::seed_from_u64(h.finish())
+}

@@ -69,12 +69,8 @@ pub mod prelude {
 mod tests {
     #[test]
     fn facade_re_exports_work() {
-        let g = crate::graph::generators::grid2d(
-            4,
-            4,
-            crate::graph::generators::WeightModel::Unit,
-            0,
-        );
+        let g =
+            crate::graph::generators::grid2d(4, 4, crate::graph::generators::WeightModel::Unit, 0);
         assert_eq!(g.n(), 16);
         let l = g.laplacian();
         assert_eq!(l.nrows(), 16);

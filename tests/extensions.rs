@@ -23,7 +23,11 @@ fn amg_preconditions_the_same_systems_as_the_sparsifier() {
     let mut b = vec![0.0; g.n()];
     b[0] = 1.0;
     b[g.n() - 1] = -1.0;
-    let opts = PcgOptions { tol: 1e-8, max_iter: 5000, ..Default::default() };
+    let opts = PcgOptions {
+        tol: 1e-8,
+        max_iter: 5000,
+        ..Default::default()
+    };
 
     let amg = AmgPrec::new(&l, &Default::default()).unwrap();
     let (x1, s1) = pcg(&l, &b, &amg, &opts);
@@ -62,7 +66,9 @@ fn kway_and_clustering_agree_on_strong_communities() {
         &g,
         3,
         &PartitionOptions {
-            backend: Backend::Direct { ordering: Default::default() },
+            backend: Backend::Direct {
+                ordering: Default::default(),
+            },
             cut: CutRule::Sweep { min_balance: 0.2 },
             ..Default::default()
         },
@@ -76,8 +82,16 @@ fn kway_and_clustering_agree_on_strong_communities() {
         .filter(|e| (e.u as usize) / 40 != (e.v as usize) / 40)
         .map(|e| e.weight)
         .sum();
-    assert!(kp.cut_weight <= 2.0 * planted_cut, "kway cut {}", kp.cut_weight);
-    assert!(cl.cut_weight <= 2.0 * planted_cut, "clustering cut {}", cl.cut_weight);
+    assert!(
+        kp.cut_weight <= 2.0 * planted_cut,
+        "kway cut {}",
+        kp.cut_weight
+    );
+    assert!(
+        cl.cut_weight <= 2.0 * planted_cut,
+        "clustering cut {}",
+        cl.cut_weight
+    );
 }
 
 #[test]
@@ -118,8 +132,7 @@ fn ss_baseline_needs_more_edges_for_equal_conditioning() {
     let kappa_sa = kappa(sa.graph());
     // Give SS the same edge budget.
     let factor = sa.graph().m() as f64 / g.n() as f64;
-    let ss = spielman_srivastava(&g, &SsConfig::with_sample_factor(g.n(), 2.0 * factor))
-        .unwrap();
+    let ss = spielman_srivastava(&g, &SsConfig::with_sample_factor(g.n(), 2.0 * factor)).unwrap();
     let kappa_ss = kappa(&ss);
     assert!(
         kappa_sa < kappa_ss,
@@ -134,8 +147,9 @@ fn multi_rhs_solves_share_one_factorization() {
     let solver = GroundedSolver::new(&l, Default::default()).unwrap();
     let rhs: Vec<Vec<f64>> = (0..5)
         .map(|k| {
-            let mut b: Vec<f64> =
-                (0..g.n()).map(|i| ((i * (k + 3)) as f64 * 0.31).sin()).collect();
+            let mut b: Vec<f64> = (0..g.n())
+                .map(|i| ((i * (k + 3)) as f64 * 0.31).sin())
+                .collect();
             dense::center(&mut b);
             b
         })

@@ -3,9 +3,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sass::prelude::*;
 use sass::graph::generators as gen;
 use sass::graph::Graph;
+use sass::prelude::*;
 
 fn random_rhs(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -21,14 +21,20 @@ fn check_family(g: &Graph, sigma2: f64, name: &str) {
     let sp = sparsify(g, &SparsifyConfig::new(sigma2).with_seed(9)).unwrap();
     assert!(sp.converged(), "{name}: sparsifier did not converge");
     assert!(sp.graph().m() <= g.m(), "{name}: not a subgraph");
-    assert!(sp.graph().m() >= g.n() - 1, "{name}: lost spanning property");
+    assert!(
+        sp.graph().m() >= g.n() - 1,
+        "{name}: lost spanning property"
+    );
 
     let lg = g.laplacian();
     let prec = LaplacianPrec::new(
         GroundedSolver::new(&sp.graph().laplacian(), Default::default()).unwrap(),
     );
     let b = random_rhs(g.n(), 4);
-    let opts = PcgOptions { tol: 1e-6, ..Default::default() };
+    let opts = PcgOptions {
+        tol: 1e-6,
+        ..Default::default()
+    };
     let (x, stats) = pcg(&lg, &b, &prec, &opts);
     assert!(stats.converged, "{name}: PCG did not converge");
     assert!(lg.residual_norm(&x, &b) < 1e-5, "{name}: bad residual");
@@ -50,7 +56,12 @@ fn circuit_family() {
 #[test]
 fn thermal_family() {
     check_family(
-        &gen::grid2d(44, 40, gen::WeightModel::LogUniform { lo: 0.1, hi: 10.0 }, 2),
+        &gen::grid2d(
+            44,
+            40,
+            gen::WeightModel::LogUniform { lo: 0.1, hi: 10.0 },
+            2,
+        ),
         100.0,
         "thermal",
     );
@@ -79,12 +90,20 @@ fn knn_family() {
 
 #[test]
 fn geometric_family() {
-    check_family(&gen::random_geometric3d(800, 0.14, true, 7), 100.0, "geometric");
+    check_family(
+        &gen::random_geometric3d(800, 0.14, true, 7),
+        100.0,
+        "geometric",
+    );
 }
 
 #[test]
 fn small_world_family() {
-    check_family(&gen::watts_strogatz(1_500, 6, 0.1, 8), 150.0, "watts-strogatz");
+    check_family(
+        &gen::watts_strogatz(1_500, 6, 0.1, 8),
+        150.0,
+        "watts-strogatz",
+    );
 }
 
 #[test]
@@ -94,12 +113,18 @@ fn sparsifier_quality_improves_with_budget() {
     let g = gen::circuit_grid(36, 36, 0.15, 10);
     let lg = g.laplacian();
     let b = random_rhs(g.n(), 11);
-    let opts = PcgOptions { tol: 1e-6, ..Default::default() };
+    let opts = PcgOptions {
+        tol: 1e-6,
+        ..Default::default()
+    };
     let mut last_edges = usize::MAX;
     let mut iters = Vec::new();
     for sigma2 in [400.0, 100.0, 25.0] {
         let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_seed(12)).unwrap();
-        assert!(sp.graph().m() <= last_edges || sp.graph().m() >= last_edges, "trivially true");
+        assert!(
+            sp.graph().m() <= last_edges || sp.graph().m() >= last_edges,
+            "trivially true"
+        );
         last_edges = sp.graph().m();
         let prec = LaplacianPrec::new(
             GroundedSolver::new(&sp.graph().laplacian(), Default::default()).unwrap(),

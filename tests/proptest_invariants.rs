@@ -12,10 +12,7 @@ use sass::sparse::dense;
 fn connected_graph() -> impl Strategy<Value = Graph> {
     (3usize..24).prop_flat_map(|n| {
         let tree_weights = proptest::collection::vec(0.1f64..10.0, n - 1);
-        let extra = proptest::collection::vec(
-            (0usize..n, 0usize..n, 0.1f64..10.0),
-            0..(2 * n),
-        );
+        let extra = proptest::collection::vec((0usize..n, 0usize..n, 0.1f64..10.0), 0..(2 * n));
         (Just(n), tree_weights, extra).prop_map(|(n, tw, extra)| {
             let mut b = GraphBuilder::new(n);
             // Random-ish tree: attach vertex i to a pseudo-random earlier one.

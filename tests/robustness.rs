@@ -37,16 +37,23 @@ fn extreme_weight_spread() {
     let mut rhs = vec![0.0; g.n()];
     rhs[0] = 1.0;
     rhs[g.n() - 1] = -1.0;
-    let (x, stats) =
-        pcg(&lg, &rhs, &prec, &PcgOptions { tol: 1e-8, max_iter: 20_000, ..Default::default() });
+    let (x, stats) = pcg(
+        &lg,
+        &rhs,
+        &prec,
+        &PcgOptions {
+            tol: 1e-8,
+            max_iter: 20_000,
+            ..Default::default()
+        },
+    );
     assert!(stats.converged, "{stats:?}");
     assert!(lg.residual_norm(&x, &rhs) < 1e-6);
 }
 
 #[test]
 fn path_graph_has_no_off_tree_edges() {
-    let g = Graph::from_edges(50, &(0..49).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>())
-        .unwrap();
+    let g = Graph::from_edges(50, &(0..49).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>()).unwrap();
     let sp = sparsify(&g, &SparsifyConfig::new(2.0)).unwrap();
     // A tree is its own perfect sparsifier: condition exactly 1.
     assert!(sp.converged());
@@ -59,7 +66,8 @@ fn star_graph_with_huge_hub() {
     // Star with one hub: every edge is a bridge (tree edge); sparsifier
     // must keep all of them regardless of sigma^2.
     let n = 200;
-    let edges: Vec<(usize, usize, f64)> = (1..n).map(|i| (0, i, (i as f64).exp().min(1e12))).collect();
+    let edges: Vec<(usize, usize, f64)> =
+        (1..n).map(|i| (0, i, (i as f64).exp().min(1e12))).collect();
     let g = Graph::from_edges(n, &edges).unwrap();
     let sp = sparsify(&g, &SparsifyConfig::new(10.0)).unwrap();
     assert_eq!(sp.graph().m(), n - 1);
@@ -109,12 +117,7 @@ fn two_vertex_graph() {
 
 #[test]
 fn invalid_configs_are_rejected_cleanly() {
-    let g = sass::graph::generators::grid2d(
-        4,
-        4,
-        sass::graph::generators::WeightModel::Unit,
-        0,
-    );
+    let g = sass::graph::generators::grid2d(4, 4, sass::graph::generators::WeightModel::Unit, 0);
     for bad in [0.0, 1.0, -5.0, f64::NAN] {
         assert!(
             matches!(
@@ -126,10 +129,16 @@ fn invalid_configs_are_rejected_cleanly() {
     }
     let mut c = SparsifyConfig::new(10.0);
     c.t_steps = 0;
-    assert!(matches!(sparsify(&g, &c), Err(CoreError::InvalidConfig { .. })));
+    assert!(matches!(
+        sparsify(&g, &c),
+        Err(CoreError::InvalidConfig { .. })
+    ));
     let mut c = SparsifyConfig::new(10.0);
     c.max_add_frac = f64::NAN;
-    assert!(matches!(sparsify(&g, &c), Err(CoreError::InvalidConfig { .. })));
+    assert!(matches!(
+        sparsify(&g, &c),
+        Err(CoreError::InvalidConfig { .. })
+    ));
 }
 
 #[test]
@@ -171,7 +180,9 @@ fn near_disconnected_bridge_graph() {
 fn deterministic_across_repeated_runs() {
     let g = sass::graph::generators::circuit_grid(16, 16, 0.2, 9);
     let cfg = SparsifyConfig::new(60.0).with_seed(123);
-    let runs: Vec<Vec<u32>> = (0..3).map(|_| sparsify(&g, &cfg).unwrap().edge_ids()).collect();
+    let runs: Vec<Vec<u32>> = (0..3)
+        .map(|_| sparsify(&g, &cfg).unwrap().edge_ids())
+        .collect();
     assert_eq!(runs[0], runs[1]);
     assert_eq!(runs[1], runs[2]);
 }

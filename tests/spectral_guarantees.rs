@@ -73,7 +73,10 @@ fn quadratic_form_dominance_on_random_vectors() {
         let x: Vec<f64> = (0..g.n()).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let qg = lg.quad_form(&x);
         let qp = lp.quad_form(&x);
-        assert!(qp <= qg + 1e-9 * qg.abs(), "x'L_P x = {qp} exceeds x'L_G x = {qg}");
+        assert!(
+            qp <= qg + 1e-9 * qg.abs(),
+            "x'L_P x = {qp} exceeds x'L_G x = {qg}"
+        );
     }
 }
 
@@ -97,9 +100,13 @@ fn every_similarity_policy_certifies() {
         SimilarityPolicy::EndpointMark,
         SimilarityPolicy::PathOverlap { max_overlap: 0.5 },
     ] {
-        let sp =
-            sparsify(&g, &SparsifyConfig::new(sigma2).with_similarity(policy).with_seed(3))
-                .unwrap();
+        let sp = sparsify(
+            &g,
+            &SparsifyConfig::new(sigma2)
+                .with_similarity(policy)
+                .with_seed(3),
+        )
+        .unwrap();
         let exact = exact_condition(&g, sp.graph());
         assert!(exact <= 2.0 * sigma2, "{policy:?}: exact condition {exact}");
     }
@@ -110,8 +117,17 @@ fn every_tree_kind_certifies() {
     use sass::graph::spanning::TreeKind;
     let g = gen::fem_mesh2d(9, 9, 15);
     let sigma2 = 40.0;
-    for tree in [TreeKind::MaxWeight, TreeKind::Akpw, TreeKind::Bfs, TreeKind::Random(3)] {
-        let sp = sparsify(&g, &SparsifyConfig::new(sigma2).with_tree(tree).with_seed(4)).unwrap();
+    for tree in [
+        TreeKind::MaxWeight,
+        TreeKind::Akpw,
+        TreeKind::Bfs,
+        TreeKind::Random(3),
+    ] {
+        let sp = sparsify(
+            &g,
+            &SparsifyConfig::new(sigma2).with_tree(tree).with_seed(4),
+        )
+        .unwrap();
         let exact = exact_condition(&g, sp.graph());
         assert!(exact <= 2.0 * sigma2, "{tree:?}: exact condition {exact}");
     }

@@ -1,0 +1,69 @@
+//! Per-RHS loop vs blocked `solve_many` against one grounded LDLᵀ
+//! factorization — the paper's Table 2 "many right-hand sides" scenario.
+//!
+//! The serial row streams the factor once per right-hand side
+//! (`GroundedSolver::solve_into_scratch` in a loop); the blocked row
+//! streams it once per `LDL_BLOCK_WIDTH`-column chunk
+//! (`GroundedSolver::solve_many_into`), so the factor's index/value arrays
+//! are read 8× less often while the arithmetic count is identical. This
+//! bench records the `BENCH_SOLVE_MANY.json` baseline; re-record with
+//!
+//! ```text
+//! CRITERION_JSON=BENCH_SOLVE_MANY.json cargo bench -p sass-bench --bench solve_many
+//! ```
+//!
+//! Unlike the SpMV bench, both rows here are single-threaded — the win is
+//! memory traffic, so it shows up even on a single-core container.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_graph::generators::{circuit_grid, grid2d, WeightModel};
+use sass_solver::{GroundedScratch, GroundedSolver};
+use sass_sparse::ordering::OrderingKind;
+use sass_sparse::CsrMatrix;
+
+/// Right-hand sides per workload: four full 8-column blocks.
+const N_RHS: usize = 32;
+
+fn workloads() -> Vec<(String, CsrMatrix)> {
+    let mut out = Vec::new();
+    for side in [48usize, 96] {
+        let g = grid2d(side, side, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 7);
+        out.push((format!("grid_{side}x{side}"), g.laplacian()));
+    }
+    let g = circuit_grid(64, 64, 0.1, 9);
+    out.push(("circuit_64x64".to_string(), g.laplacian()));
+    out
+}
+
+fn bench_solve_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_many");
+    group.sample_size(20);
+    for (name, l) in workloads() {
+        let solver = GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap();
+        let n = solver.n();
+        let rhs: Vec<Vec<f64>> = (0..N_RHS)
+            .map(|k| {
+                (0..n)
+                    .map(|i| ((i * (k + 2)) as f64 * 0.13).sin())
+                    .collect()
+            })
+            .collect();
+        let mut scratch = GroundedScratch::new();
+        let mut x = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("per_rhs_loop", &name), &(), |b, ()| {
+            b.iter(|| {
+                for rb in &rhs {
+                    solver.solve_into_scratch(rb, &mut x, &mut scratch);
+                }
+            })
+        });
+        let mut out = vec![vec![0.0; n]; N_RHS];
+        group.bench_with_input(BenchmarkId::new("blocked", &name), &(), |b, ()| {
+            b.iter(|| solver.solve_many_into(&rhs, &mut out, &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve_many);
+criterion_main!(benches);

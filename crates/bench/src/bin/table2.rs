@@ -124,4 +124,40 @@ fn multi_rhs_amortization() {
         "  amortized total per solve: {:.1} ms (setup share falls as RHS count grows)",
         total.as_secs_f64() * 1000.0 / n_rhs as f64
     );
+
+    // Direct factor reuse: the sparsifier Laplacian solved against the same
+    // batch, once as the historical per-RHS loop and once through the
+    // blocked multi-RHS path (one factor sweep per 8 columns). Both paths
+    // are warmed first so the comparison measures factor traffic, not the
+    // scratch's first-call allocations; see the solve_many criterion bench
+    // (BENCH_SOLVE_MANY.json) for the recorded baseline.
+    const REPS: usize = 5;
+    let solver = GroundedSolver::new(&sp.graph().laplacian(), OrderingKind::MinDegree)
+        .expect("factorize sparsifier");
+    let mut scratch = sass_solver::GroundedScratch::new();
+    let mut x = vec![0.0; solver.n()];
+    let mut out = vec![vec![0.0; solver.n()]; rhs.len()];
+    for b in &rhs {
+        solver.solve_into_scratch(b, &mut x, &mut scratch);
+    }
+    solver.solve_many_into(&rhs, &mut out, &mut scratch);
+    let (_, t_serial) = timeit(|| {
+        for _ in 0..REPS {
+            for b in &rhs {
+                solver.solve_into_scratch(b, &mut x, &mut scratch);
+            }
+        }
+    });
+    let (_, t_blocked) = timeit(|| {
+        for _ in 0..REPS {
+            solver.solve_many_into(&rhs, &mut out, &mut scratch);
+        }
+    });
+    println!(
+        "  sparsifier factor solves, {} RHS x {REPS}: per-RHS loop {:.2?}, blocked solve_many {:.2?} ({:.2}x)",
+        n_rhs,
+        t_serial,
+        t_blocked,
+        t_serial.as_secs_f64() / t_blocked.as_secs_f64().max(1e-12)
+    );
 }

@@ -18,9 +18,15 @@
 /// `λmax/λmin` already meets `σ²`, the threshold saturates at 1 and no edge
 /// passes the filter.
 ///
+/// A *non-finite* ratio — e.g. infinite `λmin` and `λmax` estimates from a
+/// degenerate pencil dividing to NaN — also saturates to 1 rather than
+/// leaking NaN through the clamp: an unusable condition estimate means no
+/// edge can justify recovery, and the documented `(0, 1]` contract holds
+/// for every input the asserts admit.
+///
 /// # Panics
 ///
-/// Panics if any argument is non-positive.
+/// Panics if any argument is non-positive or NaN.
 ///
 /// # Example
 ///
@@ -37,14 +43,26 @@ pub fn heat_threshold(sigma2: f64, lambda_min: f64, lambda_max: f64, t: usize) -
     assert!(sigma2 > 0.0, "sigma2 must be positive");
     assert!(lambda_min > 0.0, "lambda_min must be positive");
     assert!(lambda_max > 0.0, "lambda_max must be positive");
-    let ratio = (sigma2 * lambda_min / lambda_max).min(1.0);
+    let ratio = sigma2 * lambda_min / lambda_max;
+    // `f64::min` would already pick 1.0 over NaN, but that NaN-swallowing
+    // is an accident of Rust's min semantics — saturate explicitly so the
+    // (0, 1] guarantee survives ∞/∞ and 0·∞ estimates by design.
+    let ratio = if ratio.is_finite() {
+        ratio.min(1.0)
+    } else {
+        1.0
+    };
     ratio.powi(2 * t as i32 + 1)
 }
 
 /// Candidate off-tree edges that pass the heat filter, sorted by
 /// descending heat and truncated to `max_count`.
 ///
-/// Returns `(edge id, heat)` pairs. Edges with zero heat never pass.
+/// Returns `(edge id, heat)` pairs. Edges with zero heat never pass, and
+/// *non-finite* heats (a NaN or infinite value from a degenerate embedding
+/// with zero effective resistance) are filtered out before the cutoff
+/// comparison — a poisoned candidate drops out instead of panicking the
+/// sparsification pipeline or outranking every finite edge.
 ///
 /// # Panics
 ///
@@ -64,10 +82,10 @@ pub fn select_edges(
     let mut passing: Vec<(u32, f64)> = off_tree
         .iter()
         .zip(heats)
-        .filter(|&(_, &h)| h >= cutoff && h > 0.0)
+        .filter(|&(_, &h)| h.is_finite() && h > 0.0 && h >= cutoff)
         .map(|(&id, &h)| (id, h))
         .collect();
-    passing.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite heats"));
+    passing.sort_by(|a, b| b.1.total_cmp(&a.1));
     passing.truncate(max_count);
     passing
 }
@@ -125,5 +143,36 @@ mod tests {
     #[should_panic(expected = "sigma2")]
     fn rejects_bad_sigma() {
         heat_threshold(0.0, 1.0, 10.0, 2);
+    }
+
+    /// Regression: a NaN heat in the candidate list (degenerate embedding
+    /// with zero effective resistance) used to be able to reach a
+    /// `partial_cmp().expect()` sort — it must silently drop out instead.
+    #[test]
+    fn select_drops_non_finite_heats() {
+        let ids = [1u32, 2, 3, 4, 5];
+        let heats = [0.9, f64::NAN, 0.5, f64::INFINITY, f64::NEG_INFINITY];
+        let picked = select_edges(&ids, &heats, 1.0, 0.1, 10);
+        let got: Vec<u32> = picked.iter().map(|&(id, _)| id).collect();
+        assert_eq!(got, vec![1, 3]);
+        // All-NaN heats: nothing passes, nothing panics.
+        assert!(select_edges(&[7], &[f64::NAN], 1.0, 0.1, 10).is_empty());
+    }
+
+    /// Regression: a non-finite condition estimate must saturate the
+    /// threshold at 1 instead of returning NaN through the `.min` clamp.
+    #[test]
+    fn threshold_saturates_on_non_finite_ratio() {
+        // λmin = λmax = ∞ passes the positivity asserts but divides to NaN.
+        let theta = heat_threshold(100.0, f64::INFINITY, f64::INFINITY, 2);
+        assert_eq!(theta, 1.0);
+        // An infinite ratio (λmin = ∞, finite λmax) saturates too.
+        assert_eq!(heat_threshold(100.0, f64::INFINITY, 1.0, 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda_max")]
+    fn rejects_nan_lambda_max() {
+        heat_threshold(100.0, 1.0, f64::NAN, 2);
     }
 }

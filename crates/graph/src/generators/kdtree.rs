@@ -28,6 +28,12 @@ pub struct KdTree<'a> {
 impl<'a> KdTree<'a> {
     /// Builds a tree over `points` (all must share a dimension).
     ///
+    /// Points with a non-finite coordinate (NaN or ±∞) are *excluded from
+    /// the index*: they have no well-defined distance or splitting side, so
+    /// indexing them would silently corrupt subtree pruning — queries never
+    /// return them, and [`KdTree::indexed_len`] reports how many points
+    /// remain searchable.
+    ///
     /// # Panics
     ///
     /// Panics if points have inconsistent dimensions.
@@ -37,11 +43,13 @@ impl<'a> KdTree<'a> {
             points.iter().all(|p| p.len() == dim),
             "all points must share a dimension"
         );
-        let n = points.len();
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        let mut axis = vec![0u8; n];
-        if n > 0 && dim > 0 {
-            build_recursive(points, dim, &mut order, &mut axis, 0, n, 0);
+        let mut order: Vec<u32> = (0..points.len() as u32)
+            .filter(|&i| points[i as usize].iter().all(|c| c.is_finite()))
+            .collect();
+        let m = order.len();
+        let mut axis = vec![0u8; m];
+        if m > 0 && dim > 0 {
+            build_recursive(points, dim, &mut order, &mut axis, 0, m, 0);
         }
         KdTree {
             points,
@@ -61,9 +69,16 @@ impl<'a> KdTree<'a> {
         self.points.is_empty()
     }
 
+    /// Number of points actually indexed — [`KdTree::len`] minus the
+    /// points excluded for non-finite coordinates.
+    pub fn indexed_len(&self) -> usize {
+        self.order.len()
+    }
+
     /// The `k` nearest neighbors of `query` as `(point index, distance)`
     /// pairs sorted by ascending distance. A point at the query location is
-    /// included (filter by index to exclude self-matches).
+    /// included (filter by index to exclude self-matches); points with
+    /// non-finite coordinates are never returned (see [`KdTree::build`]).
     ///
     /// # Panics
     ///
@@ -76,7 +91,7 @@ impl<'a> KdTree<'a> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         // Simple bounded max-heap as a sorted Vec (k is small in practice).
         let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
-        self.search(0, self.points.len(), query, k, &mut best);
+        self.search(0, self.order.len(), query, k, &mut best);
         best
     }
 
@@ -127,10 +142,11 @@ fn build_recursive(
     }
     let ax = depth % dim;
     let mid = lo + (hi - lo) / 2;
+    // `total_cmp` keeps the median split well-defined (and panic-free) for
+    // coincident points and signed zeros; non-finite coordinates never
+    // reach this comparator — `build` excludes those points up front.
     order[lo..hi].select_nth_unstable_by(mid - lo, |&a, &b| {
-        points[a as usize][ax]
-            .partial_cmp(&points[b as usize][ax])
-            .expect("finite coordinates")
+        points[a as usize][ax].total_cmp(&points[b as usize][ax])
     });
     axis[mid] = ax as u8;
     build_recursive(points, dim, order, axis, lo, mid, depth + 1);
@@ -157,7 +173,7 @@ mod tests {
             .enumerate()
             .map(|(i, p)| (i, dist(p, q)))
             .collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
         all.truncate(k);
         all
     }
@@ -210,5 +226,41 @@ mod tests {
         let tree = KdTree::build(&points);
         assert!(tree.is_empty());
         assert!(tree.k_nearest(&[], 3).is_empty());
+    }
+
+    /// Regression: coincident points used to be fine only by luck, and a
+    /// NaN coordinate panicked the `partial_cmp().expect()` median split.
+    /// Construction must survive both, and queries must stay *correct* —
+    /// an indexed NaN point would silently corrupt subtree pruning, so
+    /// non-finite points are excluded from the index entirely.
+    #[test]
+    fn degenerate_points_do_not_panic_or_corrupt_queries() {
+        // Many coincident points (zero spread on every axis).
+        let coincident = vec![vec![1.0, 2.0]; 50];
+        let tree = KdTree::build(&coincident);
+        let got = tree.k_nearest(&[1.0, 2.0], 5);
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|&(_, d)| d == 0.0));
+
+        // A NaN point placed so that, if indexed, it would become the split
+        // node whose pruning hides the true nearest neighbor (3.0 from a
+        // query at 3.05). It must be ignored instead.
+        let points = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![f64::NAN]];
+        let tree = KdTree::build(&points);
+        assert_eq!(tree.len(), 5);
+        assert_eq!(tree.indexed_len(), 4);
+        let got = tree.k_nearest(&[3.05], 1);
+        assert_eq!(got[0].0, 3);
+        assert!((got[0].1 - 0.05).abs() < 1e-12);
+        // Every finite point is reachable; the NaN point never is.
+        let all = tree.k_nearest(&[0.0], 10);
+        let ids: Vec<usize> = all.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+
+        // An all-non-finite point set yields an empty (but valid) index.
+        let bad = vec![vec![f64::INFINITY], vec![f64::NAN]];
+        let tree = KdTree::build(&bad);
+        assert_eq!(tree.indexed_len(), 0);
+        assert!(tree.k_nearest(&[0.0], 3).is_empty());
     }
 }

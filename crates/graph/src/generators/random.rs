@@ -166,7 +166,11 @@ pub fn gaussian_mixture_points(
 /// `exp(−d² / (2σ²))`, where `σ` is the mean k-th neighbor distance — the
 /// standard machine-learning similarity graph (`RCV-80NN` family).
 ///
-/// Patched to be connected.
+/// Patched to be connected. Points with a non-finite coordinate are
+/// excluded from neighbor search on both sides (the [`KdTree`] never
+/// indexes them, and they issue no query — a NaN query distance would
+/// poison the global `σ`); they end up attached only by the weak
+/// connectivity-patch edges.
 ///
 /// # Panics
 ///
@@ -180,6 +184,10 @@ pub fn knn_graph(points: &[Vec<f64>], k: usize) -> Graph {
     let mut kth_dists = Vec::with_capacity(n);
     let mut nn: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
     for (i, p) in points.iter().enumerate() {
+        if !p.iter().all(|c| c.is_finite()) {
+            nn.push(Vec::new());
+            continue;
+        }
         let mut cand = tree.k_nearest(p, k + 1);
         cand.retain(|&(j, _)| j != i);
         cand.truncate(k);
@@ -273,6 +281,32 @@ mod tests {
         // any) is tiny.
         let close = g.find_edge(0, 1).unwrap();
         assert!(g.edge(close as usize).weight > 0.5);
+    }
+
+    /// Regression: a NaN-coordinate point used to panic tree construction;
+    /// after the kdtree hardening it must also not poison the global sigma
+    /// (which would silently flatten every weight to the 1e-12 clamp). The
+    /// degenerate point rides in on the connectivity patch only.
+    #[test]
+    fn knn_graph_survives_non_finite_point_with_weights_intact() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+            vec![f64::NAN, 0.0],
+        ];
+        let g = knn_graph(&pts, 1);
+        assert_eq!(g.n(), 5);
+        assert!(is_connected(&g));
+        // Finite-pair similarities keep their structure.
+        let close = g.find_edge(0, 1).unwrap();
+        assert!(g.edge(close as usize).weight > 0.5);
+        // The NaN vertex hangs off a weak patch edge only.
+        assert_eq!(g.degree(4), 1);
+        for (_, id, _) in g.neighbors(4) {
+            assert!(g.edge(id as usize).weight <= 1e-6);
+        }
     }
 
     fn dist(a: &[f64], b: &[f64]) -> f64 {

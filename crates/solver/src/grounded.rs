@@ -1,6 +1,6 @@
 use crate::{Result, SolverError};
 use sass_sparse::ordering::OrderingKind;
-use sass_sparse::{dense, CsrMatrix, LdlFactor, SparseError};
+use sass_sparse::{dense, CsrMatrix, DenseBlock, LdlFactor, SparseError};
 
 /// Exact solver for (connected) graph-Laplacian systems via *grounding*.
 ///
@@ -113,11 +113,150 @@ impl GroundedSolver {
     /// Solves against many right-hand sides, amortizing the factorization —
     /// the paper's Table 2 motivation ("multiple RHS vectors").
     ///
+    /// Right-hand sides are processed in blocks of
+    /// [`sass_sparse::LDL_BLOCK_WIDTH`] columns: one sweep over the LDLᵀ
+    /// factor's indices advances the whole block, so factor traffic is paid
+    /// once per block instead of once per vector. Results agree with
+    /// per-RHS [`GroundedSolver::solve`] to floating-point sign-of-zero.
+    ///
     /// # Panics
     ///
     /// Panics if any right-hand side has the wrong length.
     pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        rhs.iter().map(|b| self.solve(b)).collect()
+        if rhs.is_empty() {
+            return Vec::new();
+        }
+        for b in rhs {
+            assert_eq!(b.len(), self.n, "solve_many: rhs length mismatch");
+        }
+        let block = DenseBlock::from_columns(rhs);
+        self.solve_block(&block).into_columns()
+    }
+
+    /// [`GroundedSolver::solve_many`] into caller-provided buffers with
+    /// caller-owned scratch, so repeated batched solves against one
+    /// factorization allocate nothing after the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rhs.len()` or any vector on either side has
+    /// the wrong length.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sass_graph::Graph;
+    /// use sass_solver::{GroundedScratch, GroundedSolver};
+    ///
+    /// # fn main() -> Result<(), sass_solver::SolverError> {
+    /// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)])?;
+    /// let l = g.laplacian();
+    /// let solver = GroundedSolver::new(&l, Default::default())?;
+    /// let rhs = vec![vec![1.0, 0.0, -1.0], vec![0.0, 1.0, -1.0]];
+    /// let mut out = vec![vec![0.0; 3]; 2];
+    /// let mut scratch = GroundedScratch::new();
+    /// solver.solve_many_into(&rhs, &mut out, &mut scratch);
+    /// for (b, x) in rhs.iter().zip(&out) {
+    ///     assert!(l.residual_norm(x, b) < 1e-12);
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn solve_many_into(
+        &self,
+        rhs: &[Vec<f64>],
+        out: &mut [Vec<f64>],
+        scratch: &mut GroundedScratch,
+    ) {
+        assert_eq!(out.len(), rhs.len(), "solve_many: output count mismatch");
+        for b in rhs {
+            assert_eq!(b.len(), self.n, "solve_many: rhs length mismatch");
+        }
+        for x in out.iter() {
+            assert_eq!(x.len(), self.n, "solve_many: output length mismatch");
+        }
+        let mut bin = std::mem::take(&mut scratch.bin);
+        bin.reshape(self.n, rhs.len());
+        for (col, b) in bin.columns_mut().zip(rhs) {
+            col.copy_from_slice(b);
+        }
+        let mut bout = std::mem::take(&mut scratch.bout);
+        bout.reshape(self.n, rhs.len());
+        self.solve_block_into_scratch(&bin, &mut bout, scratch);
+        for (x, col) in out.iter_mut().zip(bout.columns()) {
+            x.copy_from_slice(col);
+        }
+        scratch.bin = bin;
+        scratch.bout = bout;
+    }
+
+    /// Solves `L X = center(B)` column-wise for a block of right-hand
+    /// sides, returning the mean-zero solutions `L⁺ B`.
+    ///
+    /// The blocked counterpart of [`GroundedSolver::solve`]: centering,
+    /// ground-row elision, and the mean-zero projection are applied to every
+    /// column, and the factor solves run [`sass_sparse::LDL_BLOCK_WIDTH`]
+    /// columns per sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.nrows() != n()`.
+    pub fn solve_block(&self, b: &DenseBlock) -> DenseBlock {
+        let mut x = DenseBlock::zeros(self.n, b.ncols());
+        self.solve_block_into_scratch(b, &mut x, &mut GroundedScratch::new());
+        x
+    }
+
+    /// [`GroundedSolver::solve_block`] into a caller-provided block with
+    /// caller-owned scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.nrows() != n()` or `x` has a different shape than `b`.
+    pub fn solve_block_into_scratch(
+        &self,
+        b: &DenseBlock,
+        x: &mut DenseBlock,
+        scratch: &mut GroundedScratch,
+    ) {
+        assert_eq!(b.nrows(), self.n, "solve_block: b row-count mismatch");
+        assert_eq!(x.nrows(), self.n, "solve_block: x row-count mismatch");
+        assert_eq!(x.ncols(), b.ncols(), "solve_block: column-count mismatch");
+        if b.ncols() == 0 {
+            return;
+        }
+        // Reduced right-hand sides: centered, ground row elided — the same
+        // per-column convention as the scalar path, vectorized.
+        let rb = &mut scratch.rb_block;
+        rb.reshape(self.n - 1, b.ncols());
+        for (rcol, bcol) in rb.columns_mut().zip(b.columns()) {
+            let mean = dense::mean(bcol);
+            let mut k = 0;
+            for (i, &bi) in bcol.iter().enumerate() {
+                if i != self.ground {
+                    rcol[k] = bi - mean;
+                    k += 1;
+                }
+            }
+        }
+        let rx = &mut scratch.rx_block;
+        rx.reshape(self.n - 1, b.ncols());
+        self.factor
+            .solve_block_into_scratch(&scratch.rb_block, rx, &mut scratch.work);
+        // Re-insert the ground row as zero and project each solution onto
+        // mean-zero (the canonical pseudoinverse representative).
+        for (xcol, rcol) in x.columns_mut().zip(scratch.rx_block.columns()) {
+            let mut k = 0;
+            for (i, xi) in xcol.iter_mut().enumerate() {
+                if i == self.ground {
+                    *xi = 0.0;
+                } else {
+                    *xi = rcol[k];
+                    k += 1;
+                }
+            }
+            dense::center(xcol);
+        }
     }
 
     /// In-place variant of [`GroundedSolver::solve`].
@@ -166,15 +305,21 @@ impl GroundedSolver {
     }
 }
 
-/// Reusable buffers for [`GroundedSolver::solve_into_scratch`].
+/// Reusable buffers for [`GroundedSolver::solve_into_scratch`] and the
+/// blocked variants ([`GroundedSolver::solve_block_into_scratch`],
+/// [`GroundedSolver::solve_many_into`]).
 ///
-/// One scratch serves solvers of any size (buffers resize lazily); keep it
-/// per call site, not shared across threads.
+/// One scratch serves solvers of any size and any block width (buffers
+/// resize lazily); keep it per call site, not shared across threads.
 #[derive(Debug, Clone, Default)]
 pub struct GroundedScratch {
     rb: Vec<f64>,
     rx: Vec<f64>,
     work: Vec<f64>,
+    rb_block: DenseBlock,
+    rx_block: DenseBlock,
+    bin: DenseBlock,
+    bout: DenseBlock,
 }
 
 impl GroundedScratch {
@@ -272,5 +417,84 @@ mod tests {
     fn rejects_bad_ground() {
         let g = Graph::from_edges(2, &[(0, 1, 1.0)]).unwrap();
         assert!(GroundedSolver::with_ground(&g.laplacian(), 5, OrderingKind::Natural).is_err());
+    }
+
+    /// Block sizes straddling the LDL block width, including partial tails,
+    /// and a non-default ground vertex (exercising the ground-row elision
+    /// in the middle of the block rows).
+    #[test]
+    fn solve_block_matches_scalar_path_across_widths() {
+        let g = grid2d(7, 5, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 4);
+        let l = g.laplacian();
+        let s = GroundedSolver::with_ground(&l, 17, OrderingKind::MinDegree).unwrap();
+        for ncols in [1usize, 7, 8, 9, 20] {
+            let cols: Vec<Vec<f64>> = (0..ncols)
+                .map(|c| {
+                    (0..g.n())
+                        .map(|i| ((i * (2 * c + 3)) as f64 * 0.17).cos())
+                        .collect()
+                })
+                .collect();
+            let blocked = s.solve_block(&sass_sparse::DenseBlock::from_columns(&cols));
+            for (c, b) in cols.iter().enumerate() {
+                let single = s.solve(b);
+                for (bx, sx) in blocked.col(c).iter().zip(&single) {
+                    assert!(
+                        (bx - sx).abs() <= 1e-14 * sx.abs().max(1.0),
+                        "ncols={ncols} col={c}: {bx} vs {sx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_into_reuses_scratch_and_matches() {
+        let g = grid2d(6, 6, WeightModel::Unit, 2);
+        let l = g.laplacian();
+        let s = GroundedSolver::new(&l, OrderingKind::Rcm).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..11)
+            .map(|k: usize| (0..36).map(|i| ((i + 3 * k) as f64 * 0.2).sin()).collect())
+            .collect();
+        let mut out = vec![vec![0.0; 36]; 11];
+        let mut scratch = GroundedScratch::new();
+        s.solve_many_into(&rhs, &mut out, &mut scratch);
+        assert_eq!(out, s.solve_many(&rhs));
+        // Second batch through the same scratch (different count) still
+        // matches — buffers reshape rather than accumulate stale state.
+        let rhs2: Vec<Vec<f64>> = rhs.into_iter().take(3).collect();
+        let mut out2 = vec![vec![0.0; 36]; 3];
+        s.solve_many_into(&rhs2, &mut out2, &mut scratch);
+        assert_eq!(out2, s.solve_many(&rhs2));
+    }
+
+    /// Regression: a 1-vertex system reduces to zero-row blocks; the
+    /// blocked path must still zero the ground row (and not leak stale
+    /// scratch contents from a previous, larger batch).
+    #[test]
+    fn one_vertex_system_with_primed_scratch() {
+        let big = Graph::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let s2 = GroundedSolver::new(&big.laplacian(), OrderingKind::Natural).unwrap();
+        let mut scratch = GroundedScratch::new();
+        let mut out2 = vec![vec![0.0; 2]];
+        s2.solve_many_into(&[vec![1.0, -1.0]], &mut out2, &mut scratch);
+        assert!((out2[0][0] - 0.5).abs() < 1e-15);
+
+        let tiny = Graph::from_edges(1, &[]).unwrap();
+        let s1 = GroundedSolver::new(&tiny.laplacian(), OrderingKind::Natural).unwrap();
+        let mut out1 = vec![vec![9.0]];
+        s1.solve_many_into(&[vec![5.0]], &mut out1, &mut scratch);
+        assert_eq!(out1, vec![vec![0.0]]);
+        assert_eq!(s1.solve_many(&[vec![5.0]]), vec![vec![0.0]]);
+        assert_eq!(s1.solve(&[5.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn solve_many_empty_rhs_list() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let s = GroundedSolver::new(&g.laplacian(), OrderingKind::Natural).unwrap();
+        assert!(s.solve_many(&[]).is_empty());
+        let mut scratch = GroundedScratch::new();
+        s.solve_many_into(&[], &mut [], &mut scratch);
     }
 }

@@ -57,7 +57,9 @@ pub use grounded::{GroundedScratch, GroundedSolver};
 // should name it from there.
 pub use pcg::{pcg, pcg_scratch, pcg_with_x0, PcgOptions, PcgScratch, SolveStats};
 pub use preconditioner::{IdentityPrec, JacobiPrec, LaplacianPrec, Preconditioner, TreePrec};
-pub use sass_sparse::LinearOperator;
+// Re-exported so batched-solve call sites ([`GroundedSolver::solve_block`])
+// can name the multivector type without importing sass-sparse directly.
+pub use sass_sparse::{DenseBlock, LinearOperator};
 pub use tree_solver::TreeSolver;
 
 /// Crate-wide result alias.

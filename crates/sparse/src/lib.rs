@@ -10,7 +10,11 @@
 //! - [`LinearOperator`]: the matrix-free `y = A x` abstraction every
 //!   iterative method in the workspace is built on,
 //! - [`LdlFactor`]: an up-looking sparse `L D Lᵀ` factorization
-//!   (CSparse/LDL style) with elimination-tree symbolic analysis,
+//!   (CSparse/LDL style) with elimination-tree symbolic analysis, including
+//!   blocked multi-right-hand-side solves over [`DenseBlock`] multivectors
+//!   (one factor sweep per [`LDL_BLOCK_WIDTH`] columns),
+//! - [`DenseBlock`]: a column-major dense multivector, the carrier type for
+//!   every batched-RHS API in the workspace,
 //! - fill-reducing orderings ([`ordering`]): reverse Cuthill–McKee,
 //!   quotient-graph minimum degree, and BFS-separator nested dissection,
 //! - [`Permutation`]: composable row/column permutations,
@@ -41,6 +45,7 @@
 
 #![deny(missing_docs)]
 
+mod block;
 mod coo;
 mod csr;
 mod error;
@@ -54,10 +59,11 @@ pub mod dense;
 pub mod mmio;
 pub mod ordering;
 
+pub use block::DenseBlock;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
-pub use ldl::LdlFactor;
+pub use ldl::{LdlFactor, LDL_BLOCK_WIDTH};
 pub use operator::LinearOperator;
 pub use perm::Permutation;
 

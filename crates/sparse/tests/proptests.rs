@@ -173,6 +173,33 @@ proptest! {
         prop_assert_eq!(a.apply_vec(&x), serial);
     }
 
+    /// The blocked multi-RHS solve must agree with the per-column solve on
+    /// any SPD input, across full and partial block widths — the LDL
+    /// counterpart of the serial/parallel SpMV equivalence above.
+    #[test]
+    fn ldl_block_solve_matches_per_column(a in spd_matrix(), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        use sass_sparse::{DenseBlock, LdlFactor, LDL_BLOCK_WIDTH};
+        let n = a.nrows();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let f = LdlFactor::new(&a, OrderingKind::MinDegree).unwrap();
+        for ncols in [1usize, LDL_BLOCK_WIDTH - 1, LDL_BLOCK_WIDTH, LDL_BLOCK_WIDTH + 3] {
+            let cols: Vec<Vec<f64>> = (0..ncols)
+                .map(|_| (0..n).map(|_| rng.gen_range(-5.0f64..5.0)).collect())
+                .collect();
+            let blocked = f.solve_block(&DenseBlock::from_columns(&cols));
+            for (c, col) in cols.iter().enumerate() {
+                let single = f.solve(col);
+                for (bx, sx) in blocked.col(c).iter().zip(&single) {
+                    prop_assert!(
+                        (bx - sx).abs() <= 1e-14 * sx.abs().max(1.0),
+                        "ncols={} col={}: {} vs {}", ncols, c, bx, sx
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn matrix_market_round_trip(a in spd_matrix()) {
         let text = sass_sparse::mmio::write_string(&a).unwrap();

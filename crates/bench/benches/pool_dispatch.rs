@@ -1,0 +1,102 @@
+//! Dispatch-latency comparison: persistent-pool wake vs per-call thread
+//! spawn — the fixed cost that sets every parallel kernel's profitable
+//! size crossover.
+//!
+//! Three rows per worker count:
+//!
+//! - `scoped_spawn/wK`: the old backend — `std::thread::scope` spawning
+//!   `K` fresh OS threads per call (what `par_spmv` did before the pool);
+//! - `pool/wK`: the same spans dispatched over a persistent
+//!   [`sass_sparse::pool::Pool`] with `K` lanes — parked threads woken by
+//!   a condvar, no spawn;
+//! - `serial/w1`: the inline serial fallback both paths reduce to below
+//!   the crossover (recorded so single-core baselines still carry a
+//!   meaningful row).
+//!
+//! The pool must be ≥ 5× cheaper than the scoped spawn at equal worker
+//! count — that gap is exactly why the SpMV crossover dropped from 8,192
+//! rows / 100k nnz to 1,024 rows / 10k nnz. Record the baseline with
+//!
+//! ```text
+//! CRITERION_JSON=BENCH_POOL.json cargo bench -p sass-bench --bench pool_dispatch
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_sparse::pool::{even_spans, Pool};
+
+/// Per-span payload: small enough that dispatch overhead dominates, real
+/// enough that the compiler cannot elide the work.
+const SPAN_LEN: usize = 256;
+
+fn span_work(data: &[f64], out: &mut f64) {
+    let mut acc = 0.0;
+    for &v in data {
+        acc += v * 1.000_000_1;
+    }
+    *out = acc;
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_dispatch");
+    group.sample_size(60);
+
+    for workers in [2usize, 4] {
+        let data: Vec<f64> = (0..workers * SPAN_LEN)
+            .map(|i| (i as f64) * 0.001)
+            .collect();
+        let mut results = vec![0.0f64; workers];
+        let spans = even_spans(workers, workers);
+
+        group.bench_with_input(
+            BenchmarkId::new("scoped_spawn", format!("w{workers}")),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        let mut rest = results.as_mut_slice();
+                        for k in 0..w {
+                            let (slot, tail) = rest.split_at_mut(1);
+                            rest = tail;
+                            let chunk = &data[k * SPAN_LEN..(k + 1) * SPAN_LEN];
+                            scope.spawn(move || span_work(chunk, &mut slot[0]));
+                        }
+                    });
+                    black_box(results[0])
+                })
+            },
+        );
+
+        let pool = Pool::with_threads(workers);
+        group.bench_with_input(
+            BenchmarkId::new("pool", format!("w{workers}")),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    pool.parallel_for_disjoint_mut(&mut results, &spans, |i, chunk| {
+                        span_work(&data[i * SPAN_LEN..(i + 1) * SPAN_LEN], &mut chunk[0]);
+                    });
+                    black_box(results[0])
+                })
+            },
+        );
+    }
+
+    // The serial fallback both paths take below the crossover (and
+    // everywhere on a single-core host under automatic sizing).
+    let data: Vec<f64> = (0..2 * SPAN_LEN).map(|i| (i as f64) * 0.001).collect();
+    let mut results = vec![0.0f64; 2];
+    let serial_pool = Pool::with_threads(1);
+    group.bench_with_input(BenchmarkId::new("serial", "w1"), &1usize, |b, _| {
+        b.iter(|| {
+            serial_pool.parallel_for_disjoint_mut(&mut results, &even_spans(2, 2), |i, chunk| {
+                span_work(&data[i * SPAN_LEN..(i + 1) * SPAN_LEN], &mut chunk[0]);
+            });
+            black_box(results[0])
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -4,17 +4,21 @@
 //!
 //! `CsrMatrix::mul_vec_into` is the serial kernel; `par_mul_vec_into` is the
 //! threaded fast path behind the `parallel` feature that every
-//! `LinearOperator` application routes through. This bench records the
-//! `BENCH_SPMV.json` baseline; re-record with
+//! `LinearOperator` application routes through — rows dispatched over the
+//! persistent worker pool (`sass_sparse::pool`), with the crossover at
+//! 1,024 rows / 10k nnz now that dispatch is a wake, not a spawn (see the
+//! `pool_dispatch` bench for the dispatch-latency comparison). This bench
+//! records the `BENCH_SPMV.json` baseline; re-record with
 //!
 //! ```text
 //! CRITERION_JSON=BENCH_SPMV.json cargo bench -p sass-bench --bench spmv
 //! ```
 //!
-//! On a single-core machine (like the container the first baseline was
-//! recorded on) `par_mul_vec_into` detects `available_parallelism() == 1`
-//! and takes the serial kernel, so the two rows coincide — the comparison
-//! is only meaningful on multi-core hardware.
+//! On a single-core machine (like the container the baselines so far were
+//! recorded on) automatic pool sizing resolves to one lane and the fast
+//! path is the serial kernel, so the two rows coincide — the comparison
+//! is only meaningful on multi-core hardware (or under a forced
+//! `SASS_THREADS` override, which skips the crossover).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sass_graph::generators::{barabasi_albert, grid2d, WeightModel};

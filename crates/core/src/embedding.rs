@@ -18,7 +18,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sass_graph::Graph;
 use sass_solver::{GroundedScratch, GroundedSolver};
-use sass_sparse::{dense, CsrMatrix, DenseBlock};
+use sass_sparse::{dense, pool, CsrMatrix, DenseBlock};
+
+/// Below this many off-tree edges the heat accumulation stays serial
+/// under automatic pool sizing (see [`sass_sparse::pool::Pool::workers_for`]).
+const MIN_PAR_HEAT_EDGES: usize = 8_192;
+/// Off-tree edges per pool lane above the crossover.
+const HEAT_EDGES_PER_WORKER: usize = 4_096;
+/// Minimum `n × r` work for parallelizing the per-column power-step
+/// products over probe columns.
+const MIN_PAR_PROBE_WORK: usize = 65_536;
 
 /// Per-edge Joule heat of the off-tree edges, plus the probe vectors'
 /// final iterates (useful for diagnostics and the GSP crate).
@@ -54,6 +63,13 @@ impl OffTreeHeat {
 /// ([`GroundedSolver::solve_block_into_scratch`]), so the sparsifier factor
 /// is streamed once per block of probes instead of once per probe — the
 /// multi-RHS amortization the sparsifier itself is built to exploit.
+///
+/// Above a size crossover (or always, under an explicit `SASS_THREADS` /
+/// [`sass_sparse::pool::set_threads`] override) the per-column power-step
+/// products and the per-edge Joule-heat accumulation are spread over the
+/// persistent worker pool. Both kernels preserve the serial loop's
+/// floating-point association exactly, so heats are bit-for-bit identical
+/// at every worker count.
 ///
 /// Deterministic in `seed`.
 ///
@@ -95,6 +111,12 @@ pub fn off_tree_heat(
     assert_eq!(solver_p.n(), n, "solver dimension mismatch");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut heat = vec![0.0f64; off_tree.len()];
+    if n == 0 {
+        return OffTreeHeat {
+            heat,
+            heat_max: 0.0,
+        };
+    }
     let r = r.max(1);
     // Probe initialization draws in probe order, so results are identical
     // to the historical one-probe-at-a-time loop for any given seed.
@@ -108,22 +130,50 @@ pub fn off_tree_heat(
     }
     let mut tmp = DenseBlock::zeros(n, r);
     let mut scratch = GroundedScratch::new();
+    let p = pool::Pool::global();
+    // One probe column per work item: each lane runs the serial SpMV
+    // kernel on its own columns, so the block product is bit-identical to
+    // the column-by-column loop at any worker count.
+    let col_workers = p
+        .workers_for(n * r, MIN_PAR_PROBE_WORK, MIN_PAR_PROBE_WORK)
+        .min(r);
+    let col_spans = pool::even_spans(r, col_workers);
     for _step in 0..t {
-        for (hcol, tcol) in h.columns().zip(tmp.columns_mut()) {
-            lg.mul_vec_into(hcol, tcol);
-        }
+        p.parallel_for_disjoint_mut(
+            tmp.data_mut(),
+            &pool::scale_spans(&col_spans, n),
+            |s, chunk| {
+                let (clo, chi) = col_spans[s];
+                for (k, tcol) in chunk.chunks_exact_mut(n).enumerate() {
+                    debug_assert!(clo + k < chi);
+                    lg.mul_vec_into(h.col(clo + k), tcol);
+                }
+            },
+        );
         solver_p.solve_block_into_scratch(&tmp, &mut h, &mut scratch);
         for col in h.columns_mut() {
             dense::normalize(col);
         }
     }
-    for col in h.columns() {
-        for (slot, &id) in heat.iter_mut().zip(off_tree) {
-            let e = g.edge(id as usize);
-            let d = col[e.u as usize] - col[e.v as usize];
-            *slot += e.weight * d * d;
+    // Heat accumulation: spans of off-tree edges, each slot summed over
+    // the probe columns in column order — the same floating-point
+    // association as the serial column-outer loop, so heats are
+    // bit-identical at any worker count.
+    let heat_workers = p.workers_for(off_tree.len(), MIN_PAR_HEAT_EDGES, HEAT_EDGES_PER_WORKER);
+    let heat_spans = pool::even_spans(off_tree.len(), heat_workers);
+    p.parallel_for_disjoint_mut(&mut heat, &heat_spans, |s, chunk| {
+        let lo = heat_spans[s].0;
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            let e = g.edge(off_tree[lo + k] as usize);
+            let (u, v, w) = (e.u as usize, e.v as usize, e.weight);
+            let mut acc = 0.0;
+            for col in h.columns() {
+                let d = col[u] - col[v];
+                acc += w * d * d;
+            }
+            *slot = acc;
         }
-    }
+    });
     let heat_max = heat.iter().copied().fold(0.0, f64::max);
     OffTreeHeat { heat, heat_max }
 }

@@ -12,6 +12,14 @@
 //!
 //! and keeps exactly the edges with `heat(e)/heat_max ≥ θσ`.
 
+use sass_sparse::pool;
+
+/// Below this many candidates [`select_edges`] scores serially under
+/// automatic pool sizing.
+const MIN_PAR_CANDIDATES: usize = 16_384;
+/// Candidates per pool lane above the crossover.
+const CANDIDATES_PER_WORKER: usize = 8_192;
+
 /// The normalized-heat threshold `θσ` of paper Eq. 15.
 ///
 /// Returns a value clamped to `(0, 1]`: when the current condition estimate
@@ -64,6 +72,12 @@ pub fn heat_threshold(sigma2: f64, lambda_min: f64, lambda_max: f64, t: usize) -
 /// comparison — a poisoned candidate drops out instead of panicking the
 /// sparsification pipeline or outranking every finite edge.
 ///
+/// Large candidate sets are scored in parallel over the persistent worker
+/// pool: each lane filters a contiguous span and the per-span survivors
+/// are concatenated **in span order**, so the pre-sort candidate order —
+/// and therefore the final (stably sorted) selection — is identical to
+/// the serial filter at every worker count.
+///
 /// # Panics
 ///
 /// Panics if `off_tree.len() != heats.len()`.
@@ -79,12 +93,26 @@ pub fn select_edges(
         return Vec::new();
     }
     let cutoff = theta * heat_max;
-    let mut passing: Vec<(u32, f64)> = off_tree
-        .iter()
-        .zip(heats)
-        .filter(|&(_, &h)| h.is_finite() && h > 0.0 && h >= cutoff)
-        .map(|(&id, &h)| (id, h))
-        .collect();
+    let p = pool::Pool::global();
+    let workers = p.workers_for(off_tree.len(), MIN_PAR_CANDIDATES, CANDIDATES_PER_WORKER);
+    let spans = pool::even_spans(off_tree.len(), workers);
+    let mut passing: Vec<(u32, f64)> = p
+        .parallel_reduce(
+            &spans,
+            |_, (lo, hi)| {
+                off_tree[lo..hi]
+                    .iter()
+                    .zip(&heats[lo..hi])
+                    .filter(|&(_, &h)| h.is_finite() && h > 0.0 && h >= cutoff)
+                    .map(|(&id, &h)| (id, h))
+                    .collect::<Vec<_>>()
+            },
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        )
+        .unwrap_or_default();
     passing.sort_by(|a, b| b.1.total_cmp(&a.1));
     passing.truncate(max_count);
     passing

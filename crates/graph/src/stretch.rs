@@ -9,6 +9,14 @@
 //! constructions minimize (paper Eq. 4).
 
 use crate::{Graph, LcaIndex, Result, RootedTree};
+use sass_sparse::pool;
+
+/// Below this many edges [`all_stretches`] stays serial under automatic
+/// pool sizing (an explicit `SASS_THREADS` / `pool::set_threads` override
+/// skips the crossover).
+const MIN_PAR_EDGES: usize = 16_384;
+/// Edges per pool lane above the crossover.
+const EDGES_PER_WORKER: usize = 8_192;
 
 /// Summary statistics of edge stretch over a spanning tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +48,12 @@ pub fn edge_stretch(g: &Graph, tree: &RootedTree, lca: &LcaIndex, edge_id: u32) 
 /// The returned vector is indexed by edge id. Tree edges come out as
 /// exactly 1 up to floating-point roundoff.
 ///
+/// Large edge sets are scored in parallel over the persistent worker pool
+/// ([`sass_sparse::pool`]), each lane owning a contiguous span of edge
+/// ids; every entry is computed by the same [`edge_stretch`] call either
+/// way, so the result is bit-for-bit identical to the serial loop at any
+/// worker count (pinned by the graph proptests at forced counts 1/2/3/8).
+///
 /// # Example
 ///
 /// ```
@@ -56,9 +70,18 @@ pub fn edge_stretch(g: &Graph, tree: &RootedTree, lca: &LcaIndex, edge_id: u32) 
 /// # }
 /// ```
 pub fn all_stretches(g: &Graph, tree: &RootedTree, lca: &LcaIndex) -> Vec<f64> {
-    (0..g.m() as u32)
-        .map(|id| edge_stretch(g, tree, lca, id))
-        .collect()
+    let m = g.m();
+    let pool = pool::Pool::global();
+    let workers = pool.workers_for(m, MIN_PAR_EDGES, EDGES_PER_WORKER);
+    let mut out = vec![0.0f64; m];
+    let spans = pool::even_spans(m, workers);
+    pool.parallel_for_disjoint_mut(&mut out, &spans, |s, chunk| {
+        let lo = spans[s].0;
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            *slot = edge_stretch(g, tree, lca, (lo + k) as u32);
+        }
+    });
+    out
 }
 
 /// Computes [`StretchStats`] for the tree, building a temporary LCA index.

@@ -141,6 +141,31 @@ proptest! {
         }
     }
 
+    /// Pool-routed stretch scoring must be bit-identical to the serial
+    /// per-edge loop at every worker count. `pool::set_threads` is a
+    /// standing override that skips the size crossover, so these small
+    /// graphs still exercise real multi-lane dispatch.
+    #[test]
+    fn all_stretches_bit_identical_across_worker_counts(g in random_connected_graph()) {
+        use sass_graph::stretch;
+        use sass_sparse::pool;
+        let ids = spanning::bfs_spanning_tree(&g, 0).unwrap();
+        let tree = RootedTree::new(&g, ids, 0).unwrap();
+        let lca = LcaIndex::new(&tree);
+        let serial: Vec<f64> = (0..g.m() as u32)
+            .map(|id| stretch::edge_stretch(&g, &tree, &lca, id))
+            .collect();
+        for workers in [1usize, 2, 3, 8] {
+            pool::set_threads(workers);
+            let parallel = stretch::all_stretches(&g, &tree, &lca);
+            pool::set_threads(0);
+            prop_assert_eq!(&parallel, &serial, "workers = {}", workers);
+        }
+        // Stats ride on the pool-routed vector; spot-check the fold.
+        let stats = stretch::stretch_stats(&g, &tree).unwrap();
+        prop_assert_eq!(stats.total, serial.iter().sum::<f64>());
+    }
+
     #[test]
     fn euler_tour_resistances_match_direct_walk(g in random_connected_graph()) {
         let ids = spanning::bfs_spanning_tree(&g, 0).unwrap();

@@ -1,6 +1,13 @@
 use crate::{Result, SolverError};
 use sass_sparse::ordering::OrderingKind;
-use sass_sparse::{dense, CsrMatrix, DenseBlock, LdlFactor, SparseError};
+use sass_sparse::{dense, pool, CsrMatrix, DenseBlock, LdlFactor, SparseError};
+
+/// Minimum `n × ncols` work before the blocked solve's per-column
+/// centering/mean-zero passes go parallel under automatic pool sizing (an
+/// explicit `SASS_THREADS` / `pool::set_threads` override skips the
+/// crossover). The triangular factor solves themselves stay serial — they
+/// carry a sequential dependency across rows.
+const MIN_PAR_BLOCK_WORK: usize = 32_768;
 
 /// Exact solver for (connected) graph-Laplacian systems via *grounding*.
 ///
@@ -225,11 +232,23 @@ impl GroundedSolver {
         if b.ncols() == 0 {
             return;
         }
+        let rn = self.n - 1;
+        let ncols = b.ncols();
+        // Columns are independent in both dense passes, so they spread
+        // over the worker pool above a size crossover; each column runs
+        // the exact serial per-column code, keeping the blocked solve
+        // bit-identical to the scalar path at any worker count.
+        let p = pool::Pool::global();
+        let workers = if rn == 0 {
+            1
+        } else {
+            p.workers_for(self.n * ncols, MIN_PAR_BLOCK_WORK, MIN_PAR_BLOCK_WORK)
+                .min(ncols)
+        };
+        let col_spans = pool::even_spans(ncols, workers);
         // Reduced right-hand sides: centered, ground row elided — the same
         // per-column convention as the scalar path, vectorized.
-        let rb = &mut scratch.rb_block;
-        rb.reshape(self.n - 1, b.ncols());
-        for (rcol, bcol) in rb.columns_mut().zip(b.columns()) {
+        let fill_rcol = |rcol: &mut [f64], bcol: &[f64]| {
             let mean = dense::mean(bcol);
             let mut k = 0;
             for (i, &bi) in bcol.iter().enumerate() {
@@ -238,14 +257,29 @@ impl GroundedSolver {
                     k += 1;
                 }
             }
+        };
+        let rb = &mut scratch.rb_block;
+        rb.reshape(rn, ncols);
+        if workers <= 1 {
+            for (rcol, bcol) in rb.columns_mut().zip(b.columns()) {
+                fill_rcol(rcol, bcol);
+            }
+        } else {
+            let scaled = pool::scale_spans(&col_spans, rn);
+            p.parallel_for_disjoint_mut(rb.data_mut(), &scaled, |s, chunk| {
+                let clo = col_spans[s].0;
+                for (k, rcol) in chunk.chunks_exact_mut(rn).enumerate() {
+                    fill_rcol(rcol, b.col(clo + k));
+                }
+            });
         }
         let rx = &mut scratch.rx_block;
-        rx.reshape(self.n - 1, b.ncols());
+        rx.reshape(rn, ncols);
         self.factor
             .solve_block_into_scratch(&scratch.rb_block, rx, &mut scratch.work);
         // Re-insert the ground row as zero and project each solution onto
         // mean-zero (the canonical pseudoinverse representative).
-        for (xcol, rcol) in x.columns_mut().zip(scratch.rx_block.columns()) {
+        let store_xcol = |xcol: &mut [f64], rcol: &[f64]| {
             let mut k = 0;
             for (i, xi) in xcol.iter_mut().enumerate() {
                 if i == self.ground {
@@ -256,6 +290,21 @@ impl GroundedSolver {
                 }
             }
             dense::center(xcol);
+        };
+        let rx = &scratch.rx_block;
+        if workers <= 1 {
+            for (xcol, rcol) in x.columns_mut().zip(rx.columns()) {
+                store_xcol(xcol, rcol);
+            }
+        } else {
+            let n = self.n;
+            let scaled = pool::scale_spans(&col_spans, n);
+            p.parallel_for_disjoint_mut(x.data_mut(), &scaled, |s, chunk| {
+                let clo = col_spans[s].0;
+                for (k, xcol) in chunk.chunks_exact_mut(n).enumerate() {
+                    store_xcol(xcol, rx.col(clo + k));
+                }
+            });
         }
     }
 

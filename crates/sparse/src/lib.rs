@@ -7,6 +7,11 @@
 //! - [`CsrMatrix`]: compressed sparse row storage with matrix-vector kernels
 //!   (threaded above a size crossover when the default `parallel` feature is
 //!   on — see [`CsrMatrix::par_mul_vec_into`]),
+//! - [`pool`]: the persistent worker pool every parallel kernel in the
+//!   workspace dispatches through — parked OS threads woken per dispatch
+//!   (no per-call spawn), with deterministic span-ordered reduction and a
+//!   `SASS_THREADS` override; `sass-graph` stretch, `sass-core` heat
+//!   scoring/filtering, and `sass-solver` block passes all ride on it,
 //! - [`LinearOperator`]: the matrix-free `y = A x` abstraction every
 //!   iterative method in the workspace is built on,
 //! - [`LdlFactor`]: an up-looking sparse `L D Lᵀ` factorization
@@ -58,6 +63,7 @@ mod perm;
 pub mod dense;
 pub mod mmio;
 pub mod ordering;
+pub mod pool;
 
 pub use block::DenseBlock;
 pub use coo::CooMatrix;

@@ -1,71 +1,54 @@
 //! Threaded SpMV fast path (the default-on `parallel` feature).
 //!
-//! Rows are partitioned into one contiguous, nnz-balanced span per worker;
-//! each worker owns a disjoint slice of the output vector, so the kernel
-//! needs no synchronization beyond the scoped join. Every row is accumulated
-//! by exactly the same loop as the serial kernel, in the same order — the
-//! parallel product is **bit-for-bit identical** to
-//! [`CsrMatrix::mul_vec_into`] (a property the sparse proptests pin down).
+//! Rows are partitioned into contiguous, nnz-balanced spans
+//! ([`pool::balanced_spans`] over the CSR row pointer — an exact
+//! prefix-sum of work) and dispatched over the persistent worker pool
+//! ([`pool::Pool::global`]); each span owns a disjoint slice of the output
+//! vector, so the kernel needs no synchronization beyond the dispatch
+//! barrier. Every row is accumulated by exactly the same loop as the
+//! serial kernel, in the same order — the parallel product is
+//! **bit-for-bit identical** to [`CsrMatrix::mul_vec_into`] at every
+//! worker count (a property the sparse proptests pin down at forced
+//! counts 1/2/3/8).
 //!
-//! The environment has no `rayon` (offline build, see `shims/`), so the
-//! backend is `std::thread::scope` over OS threads. Spawning is the dominant
-//! fixed cost, which is why [`CsrMatrix::par_mul_vec_into`] falls back to
-//! the serial kernel below a size crossover: for small operators the spawn
-//! alone costs more than the whole product. The `spmv` bench in
-//! `sass-bench` records the serial-vs-parallel baseline
-//! (`BENCH_SPMV.json`); on single-core machines the crossover resolves to
-//! one worker and the fast path is the serial kernel by construction.
+//! The old backend spawned fresh `std::thread::scope` threads on every
+//! call, which put the profitable-size crossover at 8,192 rows / 100k
+//! stored entries — high enough that most pipeline stages never went
+//! parallel. Pool dispatch is a wake of parked threads, not a spawn
+//! (`BENCH_POOL.json` records the difference), so the crossover now sits
+//! ~10× lower. An explicit `SASS_THREADS` / [`pool::set_threads`]
+//! override skips the crossover entirely (forcing or denying the threaded
+//! path), which is how single-core CI exercises real fan-out.
 
-use crate::CsrMatrix;
+use crate::{pool, CsrMatrix};
 
-/// Below this many rows the serial kernel wins regardless of density.
-const MIN_PAR_ROWS: usize = 8_192;
+/// Below this many rows the serial kernel wins under automatic sizing.
+const MIN_PAR_ROWS: usize = 1_024;
 /// Below this many stored entries the serial kernel wins.
-const MIN_PAR_NNZ: usize = 100_000;
-/// Minimum stored entries per spawned worker; caps worker count for
-/// matrices barely above the crossover.
-const MIN_NNZ_PER_WORKER: usize = 32_768;
+const MIN_PAR_NNZ: usize = 10_000;
+/// Stored entries per pool lane; caps lane count for matrices barely
+/// above the crossover.
+const NNZ_PER_WORKER: usize = 4_096;
 
-/// Number of workers to use for a matrix with `nnz` stored entries, `0` or
-/// `1` meaning "stay serial".
+/// Number of lanes to use for a matrix, `1` meaning "stay serial".
 fn worker_count(nrows: usize, nnz: usize) -> usize {
-    if nrows < MIN_PAR_ROWS || nnz < MIN_PAR_NNZ {
+    let p = pool::Pool::global();
+    if nrows < MIN_PAR_ROWS && !p.is_forced() {
         return 1;
     }
-    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-    hw.min(nnz / MIN_NNZ_PER_WORKER).max(1)
-}
-
-/// Splits `0..nrows` into `k` contiguous spans of roughly equal nnz, using
-/// the CSR row pointer as an exact prefix-sum of work.
-fn balanced_row_spans(indptr: &[usize], k: usize) -> Vec<(usize, usize)> {
-    let nrows = indptr.len() - 1;
-    let nnz = indptr[nrows];
-    let mut spans = Vec::with_capacity(k);
-    let mut row = 0;
-    for w in 0..k {
-        let target = nnz * (w + 1) / k;
-        let end = if w + 1 == k {
-            nrows
-        } else {
-            // First row boundary at or past this worker's nnz share.
-            let mut e = indptr[row..].partition_point(|&p| p < target) + row;
-            e = e.clamp(row, nrows);
-            e
-        };
-        spans.push((row, end));
-        row = end;
-    }
-    spans
+    p.workers_for(nnz, MIN_PAR_NNZ, NNZ_PER_WORKER).min(nrows)
 }
 
 pub(crate) fn par_spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
-    par_spmv_with_workers(a, x, y, worker_count(a.nrows(), a.nnz()));
+    let workers = worker_count(a.nrows(), a.nnz());
+    par_spmv_on(pool::Pool::global(), a, x, y, workers);
 }
 
-/// [`par_spmv`] with an explicit worker count (also what the tests use to
-/// force the threaded path on single-core machines).
-fn par_spmv_with_workers(a: &CsrMatrix, x: &[f64], y: &mut [f64], workers: usize) {
+/// [`par_spmv`] over an explicit pool and lane count. The unit tests hand
+/// in a `Pool::with_threads(workers)` instance so multi-worker execution
+/// is pinned with *real* thread fan-out even where the global pool sizes
+/// to one lane (single-core CI).
+fn par_spmv_on(p: &pool::Pool, a: &CsrMatrix, x: &[f64], y: &mut [f64], workers: usize) {
     assert_eq!(x.len(), a.ncols(), "mul_vec: x length mismatch");
     assert_eq!(y.len(), a.nrows(), "mul_vec: y length mismatch");
     if workers <= 1 {
@@ -75,28 +58,15 @@ fn par_spmv_with_workers(a: &CsrMatrix, x: &[f64], y: &mut [f64], workers: usize
     let indptr = a.indptr();
     let indices = a.indices();
     let data = a.data();
-    let spans = balanced_row_spans(indptr, workers);
-    std::thread::scope(|scope| {
-        let mut rest = y;
-        let mut offset = 0;
-        for &(lo, hi) in &spans {
-            let (chunk, tail) = rest.split_at_mut(hi - offset);
-            rest = tail;
-            offset = hi;
-            // Skewed nnz (hub rows) can produce empty spans; don't spawn
-            // for them.
-            if lo == hi {
-                continue;
+    let spans = pool::balanced_spans(indptr, workers);
+    p.parallel_for_disjoint_mut(y, &spans, |s, chunk| {
+        let (lo, hi) = spans[s];
+        for i in lo..hi {
+            let mut acc = 0.0;
+            for p in indptr[i]..indptr[i + 1] {
+                acc += data[p] * x[indices[p] as usize];
             }
-            scope.spawn(move || {
-                for i in lo..hi {
-                    let mut acc = 0.0;
-                    for p in indptr[i]..indptr[i + 1] {
-                        acc += data[p] * x[indices[p] as usize];
-                    }
-                    chunk[i - lo] = acc;
-                }
-            });
+            chunk[i - lo] = acc;
         }
     });
 }
@@ -122,13 +92,14 @@ mod tests {
     }
 
     #[test]
-    fn spans_cover_all_rows_disjointly() {
+    fn spans_cover_all_rows_disjointly_and_nonempty() {
         let a = random_ish_matrix(10_001, 5);
         for k in 1..=7 {
-            let spans = balanced_row_spans(a.indptr(), k);
-            assert_eq!(spans.len(), k);
+            let spans = pool::balanced_spans(a.indptr(), k);
+            assert!(spans.len() <= k);
+            assert!(spans.iter().all(|&(lo, hi)| lo < hi));
             assert_eq!(spans[0].0, 0);
-            assert_eq!(spans[k - 1].1, a.nrows());
+            assert_eq!(spans.last().unwrap().1, a.nrows());
             for w in spans.windows(2) {
                 assert_eq!(w[0].1, w[1].0);
             }
@@ -154,7 +125,7 @@ mod tests {
     fn forced_multi_worker_matches_serial_bit_for_bit() {
         // `available_parallelism` may be 1 on CI machines, which would turn
         // the test above into a serial-vs-serial comparison; force real
-        // thread fan-out to exercise the scoped-thread kernel itself.
+        // thread fan-out to exercise the pool kernel itself.
         let a = random_ish_matrix(4_096, 6);
         let x: Vec<f64> = (0..a.nrows())
             .map(|i| ((i * 17 % 301) as f64) * 0.01 - 1.5)
@@ -162,8 +133,10 @@ mod tests {
         let mut serial = vec![0.0; a.nrows()];
         a.mul_vec_into(&x, &mut serial);
         for workers in [2, 3, 5, 8] {
+            let p = pool::Pool::with_threads(workers);
             let mut parallel = vec![0.0; a.nrows()];
-            par_spmv_with_workers(&a, &x, &mut parallel, workers);
+            par_spmv_on(&p, &a, &x, &mut parallel, workers);
+            assert!(p.worker_count() >= 1, "dispatch must really fan out");
             assert_eq!(serial, parallel, "workers = {workers}");
         }
     }
@@ -175,5 +148,30 @@ mod tests {
         let mut y = vec![0.0; 64];
         par_spmv(&a, &x, &mut y);
         assert_eq!(y, a.mul_vec(&x));
+    }
+
+    /// A hub matrix (one row holding most of the nnz) used to produce
+    /// empty spans the kernel had to skip; the merged spans must still
+    /// cover every row and reproduce the serial product exactly.
+    #[test]
+    fn hub_matrix_with_more_workers_than_useful_spans() {
+        let n = 2_000;
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..n {
+            coo.push(0, j, (j % 13) as f64 * 0.5 + 1.0);
+        }
+        for i in 1..n {
+            coo.push(i, i, 2.0);
+        }
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut serial = vec![0.0; n];
+        a.mul_vec_into(&x, &mut serial);
+        for workers in [2, 4, 8] {
+            let p = pool::Pool::with_threads(workers);
+            let mut parallel = vec![0.0; n];
+            par_spmv_on(&p, &a, &x, &mut parallel, workers);
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
     }
 }

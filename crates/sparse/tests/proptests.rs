@@ -173,6 +173,29 @@ proptest! {
         prop_assert_eq!(a.apply_vec(&x), serial);
     }
 
+    /// Pool-based SpMV must be bit-identical to the serial kernel at every
+    /// worker count. `pool::set_threads` is a standing override that skips
+    /// the size crossover, so even these small matrices go through real
+    /// multi-lane dispatch on the persistent pool.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn pool_spmv_bit_identical_across_worker_counts(a in spd_matrix(), seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        use sass_sparse::pool;
+        let n = a.nrows();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let mut serial = vec![0.0; n];
+        a.mul_vec_into(&x, &mut serial);
+        for workers in [1usize, 2, 3, 8] {
+            pool::set_threads(workers);
+            let mut parallel = vec![0.0; n];
+            a.par_mul_vec_into(&x, &mut parallel);
+            pool::set_threads(0);
+            prop_assert_eq!(&parallel, &serial, "workers = {}", workers);
+        }
+    }
+
     /// The blocked multi-RHS solve must agree with the per-column solve on
     /// any SPD input, across full and partial block widths — the LDL
     /// counterpart of the serial/parallel SpMV equivalence above.

@@ -1,0 +1,128 @@
+//! Level-scheduled LDLᵀ: numeric factorization and triangular-solve
+//! latency, serial vs forced pool widths.
+//!
+//! Three workload shapes, chosen for their elimination-tree profiles:
+//!
+//! - `mesh`: a 2-D grid Laplacian under min-degree — bushy etree, wide
+//!   levels, the case level scheduling is built for;
+//! - `scale_free`: a Barabási–Albert graph — skewed degrees, skewed level
+//!   widths (stresses the weighted span balancing);
+//! - `sparsifier`: the near-tree output of the paper's own pipeline
+//!   (σ² = 200 on a circuit grid) — deep, narrow etree with almost no
+//!   level parallelism, the case the nnz/level-width crossover keeps on
+//!   the flat serial sweeps under automatic sizing.
+//!
+//! Three kernels per workload — `numeric` ([`LdlFactor::with_permutation`]
+//! with a precomputed ordering), `solve` (single RHS,
+//! [`LdlFactor::solve_into_scratch`]) and `solve_block8` (one full
+//! 8-column chunk) — each at `serial` (`set_threads(1)`), `w2` and `w4`
+//! forced pool widths. The forced rows engage the level-parallel path
+//! regardless of the crossovers; on a single-core host they measure pure
+//! dispatch overhead (the speedup needs real cores). Record the baseline
+//! with
+//!
+//! ```text
+//! CRITERION_JSON=BENCH_FACTOR.json cargo bench -p sass-bench --bench factor
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_core::{sparsify, SparsifyConfig};
+use sass_graph::generators::{barabasi_albert, circuit_grid, grid2d, WeightModel};
+use sass_sparse::ordering::OrderingKind;
+use sass_sparse::{pool, CsrMatrix, DenseBlock, LdlFactor, LDL_BLOCK_WIDTH};
+
+/// Grounded (SPD) principal submatrix of a Laplacian, vertex 0 deleted.
+fn grounded(l: &CsrMatrix) -> CsrMatrix {
+    let mut keep = vec![true; l.nrows()];
+    keep[0] = false;
+    l.principal_submatrix(&keep).0
+}
+
+fn workloads() -> Vec<(String, CsrMatrix)> {
+    let mesh = grid2d(56, 56, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 7);
+    let sf = barabasi_albert(3000, 3, 11);
+    let g = circuit_grid(48, 48, 0.1, 9);
+    let sp = sparsify(&g, &SparsifyConfig::new(200.0).with_seed(1)).expect("sparsify");
+    vec![
+        ("mesh_56x56".to_string(), grounded(&mesh.laplacian())),
+        ("scale_free_3000".to_string(), grounded(&sf.laplacian())),
+        (
+            "sparsifier_48x48".to_string(),
+            grounded(&sp.graph().laplacian()),
+        ),
+    ]
+}
+
+fn bench_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factor");
+    group.sample_size(10);
+    for (name, a) in workloads() {
+        // Precompute the ordering so the numeric rows measure the
+        // symbolic + numeric phases, not min-degree.
+        let perm = LdlFactor::new(&a, OrderingKind::MinDegree)
+            .unwrap()
+            .permutation()
+            .clone();
+        let f = LdlFactor::with_permutation(&a, perm.clone()).unwrap();
+        let n = a.nrows();
+        eprintln!(
+            "[{name}] n = {n}, nnz(L) = {}, levels = {}, max width = {}",
+            f.nnz_l(),
+            f.level_count(),
+            f.max_level_width()
+        );
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) as f64 * 0.23).sin()).collect();
+        let cols: Vec<Vec<f64>> = (0..LDL_BLOCK_WIDTH)
+            .map(|k| {
+                (0..n)
+                    .map(|i| ((i * (k + 2)) as f64 * 0.13).cos())
+                    .collect()
+            })
+            .collect();
+        let rhs = DenseBlock::from_columns(&cols);
+        let mut x = vec![0.0; n];
+        let mut xb = DenseBlock::zeros(n, LDL_BLOCK_WIDTH);
+        let mut work = Vec::new();
+        for (label, width) in [("serial", 1usize), ("w2", 2), ("w4", 4)] {
+            pool::set_threads(width);
+            group.bench_with_input(
+                BenchmarkId::new(format!("numeric/{label}"), &name),
+                &(),
+                |bch, ()| {
+                    bch.iter(|| {
+                        black_box(
+                            LdlFactor::with_permutation(&a, perm.clone())
+                                .unwrap()
+                                .nnz_l(),
+                        )
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("solve/{label}"), &name),
+                &(),
+                |bch, ()| {
+                    bch.iter(|| {
+                        f.solve_into_scratch(&b, &mut x, &mut work);
+                        black_box(x[0])
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("solve_block8/{label}"), &name),
+                &(),
+                |bch, ()| {
+                    bch.iter(|| {
+                        f.solve_block_into_scratch(&rhs, &mut xb, &mut work);
+                        black_box(xb.col(0)[0])
+                    })
+                },
+            );
+            pool::set_threads(0);
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_factor);
+criterion_main!(benches);

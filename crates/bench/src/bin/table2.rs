@@ -134,6 +134,18 @@ fn multi_rhs_amortization() {
     const REPS: usize = 5;
     let solver = GroundedSolver::new(&sp.graph().laplacian(), OrderingKind::MinDegree)
         .expect("factorize sparsifier");
+    // Elimination-tree shape of the sparsifier factor: deep-and-narrow
+    // (near-tree, little level parallelism) vs shallow-and-wide decides
+    // whether the level-scheduled solves can spread over the pool.
+    let f = solver.factor();
+    println!(
+        "  sparsifier factor: nnz(L) = {}, etree levels = {}, max level width = {}, avg width = {:.1}, {} KiB",
+        f.nnz_l(),
+        f.level_count(),
+        f.max_level_width(),
+        f.n() as f64 / f.level_count().max(1) as f64,
+        f.memory_bytes() / 1024
+    );
     let mut scratch = sass_solver::GroundedScratch::new();
     let mut x = vec![0.0; solver.n()];
     let mut out = vec![vec![0.0; solver.n()]; rhs.len()];

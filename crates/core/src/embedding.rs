@@ -67,7 +67,9 @@ impl OffTreeHeat {
 /// Above a size crossover (or always, under an explicit `SASS_THREADS` /
 /// [`sass_sparse::pool::set_threads`] override) the per-column power-step
 /// products and the per-edge Joule-heat accumulation are spread over the
-/// persistent worker pool. Both kernels preserve the serial loop's
+/// persistent worker pool, and the triangular sweeps inside each blocked
+/// grounded solve run level-parallel over the sparsifier factor's
+/// elimination tree. Every kernel preserves the serial loop's
 /// floating-point association exactly, so heats are bit-for-bit identical
 /// at every worker count.
 ///

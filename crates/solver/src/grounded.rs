@@ -5,8 +5,9 @@ use sass_sparse::{dense, pool, CsrMatrix, DenseBlock, LdlFactor, SparseError};
 /// Minimum `n × ncols` work before the blocked solve's per-column
 /// centering/mean-zero passes go parallel under automatic pool sizing (an
 /// explicit `SASS_THREADS` / `pool::set_threads` override skips the
-/// crossover). The triangular factor solves themselves stay serial — they
-/// carry a sequential dependency across rows.
+/// crossover). The triangular factor solves carry their own crossover
+/// inside [`LdlFactor`]: they run level-parallel over the elimination
+/// tree once the factor is big and bushy enough.
 const MIN_PAR_BLOCK_WORK: usize = 32_768;
 
 /// Exact solver for (connected) graph-Laplacian systems via *grounding*.
@@ -99,6 +100,14 @@ impl GroundedSolver {
     /// Off-diagonal nonzeros in the factor (memory/fill proxy).
     pub fn nnz_factor(&self) -> usize {
         self.factor.nnz_l()
+    }
+
+    /// The underlying LDLᵀ factorization of the grounded Laplacian —
+    /// exposes the elimination-tree observability surface
+    /// ([`LdlFactor::level_count`], [`LdlFactor::max_level_width`],
+    /// [`LdlFactor::memory_bytes`]) the bench binaries report.
+    pub fn factor(&self) -> &LdlFactor {
+        &self.factor
     }
 
     /// Approximate memory held by the factorization, in bytes.

@@ -62,7 +62,10 @@ impl Preconditioner for JacobiPrec {
 /// Preconditioning by an exact solve with a (sparsified) Laplacian:
 /// `z = L_P⁺ r`. This is the paper's use of the spectral sparsifier — the
 /// PCG iteration count is then governed by the relative condition number
-/// `κ(L_G, L_P) ≤ σ²`.
+/// `κ(L_G, L_P) ≤ σ²`. Each application is a pair of triangular factor
+/// sweeps, which run level-parallel over the factor's elimination tree on
+/// the worker pool once the factor is past the size/width crossover — so
+/// PCG iterations get multicore preconditioner applies for free.
 #[derive(Debug, Clone)]
 pub struct LaplacianPrec {
     solver: GroundedSolver,

@@ -23,7 +23,9 @@ pub enum SparseError {
     },
     /// Factorization hit a zero (or non-positive, for SPD inputs) pivot.
     ZeroPivot {
-        /// Column (in permuted order) at which the pivot failed.
+        /// Column at which the pivot failed, in the caller's *original*
+        /// indexing (mapped back through the fill-reducing permutation, so
+        /// it names the user's vertex rather than an elimination position).
         column: usize,
     },
     /// The matrix is not square where a square matrix is required.

@@ -1,8 +1,11 @@
 // Sparse kernels index multiple parallel arrays; explicit loops are clearer.
 #![allow(clippy::needless_range_loop)]
 
+use crate::etree::LevelSchedule;
 use crate::ordering::{self, OrderingKind};
+use crate::pool;
 use crate::{CsrMatrix, DenseBlock, Permutation, Result, SparseError};
+use std::cell::RefCell;
 
 /// Columns per sweep in the blocked solves: one pass over `L`'s indices
 /// updates up to this many right-hand sides, amortizing factor traffic.
@@ -11,13 +14,56 @@ use crate::{CsrMatrix, DenseBlock, Permutation, Result, SparseError};
 /// monomorphized so the per-row inner loop unrolls completely.
 pub const LDL_BLOCK_WIDTH: usize = 8;
 
+/// Minimum factor work (`nnz(L) + n`, scaled by right-hand-side count for
+/// blocked solves) before a triangular sweep leaves the flat serial loops
+/// for the level-scheduled parallel path under automatic pool sizing. A
+/// standing `SASS_THREADS` / [`pool::set_threads`] override skips the
+/// crossover, as everywhere in the workspace.
+const PAR_SOLVE_MIN_WORK: usize = 50_000;
+
+/// Minimum `nnz(L)` before the numeric factorization goes level-parallel
+/// under automatic pool sizing (per-column work is much higher than a
+/// solve's, so the crossover sits lower).
+const PAR_FACTOR_MIN_NNZ: usize = 10_000;
+
+/// Minimum *average* elimination-tree level width for level scheduling to
+/// pay off under automatic sizing: near-tree factors — the sparsifiers
+/// this workspace exists to build — have deep, narrow etrees whose levels
+/// would each dispatch a handful of columns, so they keep the flat serial
+/// sweeps (and their current latency).
+const PAR_MIN_AVG_WIDTH: usize = 4;
+
+thread_local! {
+    /// Per-thread work buffer backing the non-scratch solve entry points:
+    /// [`LdlFactor::solve`], [`LdlFactor::solve_into`],
+    /// [`LdlFactor::solve_block`] and [`LdlFactor::solve_block_into`] all
+    /// route through the scratch path with this buffer, so they stop
+    /// allocating per call after their first use on a given thread.
+    static SOLVE_WORK: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
 /// Sparse `P A Pᵀ = L D Lᵀ` factorization of a symmetric matrix.
 ///
 /// This is the classic *up-looking* simplicial algorithm (Davis' `LDL`
 /// package): an elimination-tree based symbolic analysis computes the exact
-/// nonzero count of every column of `L`, then a numeric phase computes one
-/// column at a time with a sparse triangular solve. `L` is unit lower
-/// triangular (unit diagonal not stored) and `D` is diagonal.
+/// nonzero count of every row and column of `L`, then a numeric phase
+/// computes one row at a time with a sparse triangular solve. `L` is unit
+/// lower triangular (unit diagonal not stored) and `D` is diagonal.
+///
+/// Unlike the textbook formulation, `L` is stored **row-major** (CSR of the
+/// strictly lower triangle) with a derived transpose index for column-order
+/// traversal. Row storage makes every computation step *owner-writes-only*:
+/// the numeric phase's step `k` writes exactly row `k` and `d[k]`, a
+/// forward-substitution step writes exactly `y[k]`, a backward step exactly
+/// `y[k]` again — nothing scatters into other columns' storage. That is
+/// what lets the factorization and both triangular sweeps run
+/// level-parallel over the elimination tree ([`crate::etree`]): all of a
+/// column's inputs live in strictly lower (forward/factorization) or
+/// strictly higher (backward) levels, so each level dispatches its columns
+/// across the worker pool and barriers before the next. Results are
+/// identical to the serial sweeps at every worker count — each output is
+/// produced by the same operation sequence reading the same finalized
+/// inputs regardless of which lane runs it.
 ///
 /// The factorization does no pivoting, which is exact for symmetric positive
 /// definite matrices — in this workspace: *grounded* graph Laplacians, which
@@ -43,14 +89,60 @@ pub const LDL_BLOCK_WIDTH: usize = 8;
 pub struct LdlFactor {
     n: usize,
     perm: Permutation,
-    /// Column pointers of `L` (CSC, strictly lower triangular part).
-    lp: Vec<usize>,
-    /// Row indices of `L`.
-    li: Vec<u32>,
-    /// Values of `L`.
-    lx: Vec<f64>,
+    /// Row pointers of `L` (CSR, strictly lower triangular part).
+    rp: Vec<usize>,
+    /// Column indices of `L`, in each row's *topological pattern order*
+    /// (etree descendants before ancestors; ascending within one path
+    /// segment but NOT globally sorted when a row merges several
+    /// branches) — don't binary-search or merge rows assuming sortedness.
+    ri: Vec<u32>,
+    /// Values of `L`, row-major.
+    rx: Vec<f64>,
+    /// Derived transpose (CSC mirror of `rp`/`ri`/`rx`), column pointers:
+    /// `ci[cp[j]..cp[j + 1]]` / `cx[..]` are column `j`'s entries, rows
+    /// ascending — what the backward sweep traverses.
+    cp: Vec<usize>,
+    /// Row index of each column-order entry.
+    ci: Vec<u32>,
+    /// Value of each column-order entry, mirrored from `rx` so the
+    /// backward sweep streams values contiguously (an index indirection
+    /// into `rx` costs the same memory and a cache-hostile double hop).
+    cx: Vec<f64>,
     /// The diagonal matrix `D`.
     d: Vec<f64>,
+    /// Elimination-tree level schedule driving the parallel phases.
+    schedule: LevelSchedule,
+    /// Per-level work prefixes balancing the sweeps' span splits.
+    sweep_weights: SweepWeights,
+}
+
+/// Segmented per-level work prefixes for the solve sweeps' span
+/// balancing: segment `l` (`seg[l]..seg[l + 1]`, length `width + 1`) is a
+/// zero-based prefix sum of per-column factor-entry counts (+1) over
+/// level `l`'s columns — row lengths for the forward sweep, column
+/// lengths for the backward sweep. Precomputed once at construction so
+/// each per-level dispatch feeds [`pool::balanced_spans`] instead of
+/// splitting skewed levels evenly (a hub row would otherwise serialize
+/// its whole level behind one lane while the others idle at the barrier).
+#[derive(Debug, Clone)]
+struct SweepWeights {
+    fwd: Vec<usize>,
+    bwd: Vec<usize>,
+    seg: Vec<usize>,
+}
+
+impl SweepWeights {
+    fn level_fwd(&self, l: usize) -> &[usize] {
+        &self.fwd[self.seg[l]..self.seg[l + 1]]
+    }
+
+    fn level_bwd(&self, l: usize) -> &[usize] {
+        &self.bwd[self.seg[l]..self.seg[l + 1]]
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.fwd.len() + self.bwd.len() + self.seg.len()) * std::mem::size_of::<usize>()
+    }
 }
 
 /// Upper-triangle-by-column view of a symmetric CSR matrix.
@@ -83,6 +175,207 @@ fn upper_csc(a: &CsrMatrix) -> UpperCsc {
     UpperCsc { ap, ai, ax }
 }
 
+/// Per-lane workspace of the numeric phase: the dense accumulator `y`
+/// (all-zero between column steps), the pattern stack, and the visit
+/// flags. Column markers are globally unique, so a lane's flags never
+/// collide across the columns it processes, even across levels.
+struct FactorScratch {
+    y: Vec<f64>,
+    pattern: Vec<usize>,
+    flag: Vec<i64>,
+}
+
+impl FactorScratch {
+    fn new(n: usize) -> Self {
+        FactorScratch {
+            y: vec![0.0; n],
+            pattern: vec![0; n],
+            flag: vec![-1; n],
+        }
+    }
+}
+
+/// Shared state of the numeric phase. `ri`/`rx`/`d` are reached through
+/// raw base pointers because one level's columns write their disjoint rows
+/// concurrently while reading finalized lower-level rows of the same
+/// buffers.
+struct NumericCtx<'a> {
+    u: &'a UpperCsc,
+    parent: &'a [i64],
+    rp: &'a [usize],
+    ri: pool::SendPtr<u32>,
+    rx: pool::SendPtr<f64>,
+    d: pool::SendPtr<f64>,
+}
+
+impl NumericCtx<'_> {
+    /// Computes row `k` of `L` and the pivot `d[k]` — one up-looking step
+    /// in *gather* form: the sparse solve `L c = a_k` finalizes each
+    /// pattern entry by gathering the (finished) row it indexes, instead
+    /// of scattering finished entries into ancestor columns.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold an exclusive claim on row `k`'s slices of
+    /// `ri`/`rx` and on `d[k]`, and every row and pivot in `k`'s pattern
+    /// (all in strictly lower etree levels) must be final.
+    unsafe fn factor_column(&self, k: usize, s: &mut FactorScratch) {
+        let n = self.parent.len();
+        let (y, pattern, flag) = (&mut s.y[..], &mut s.pattern[..], &mut s.flag[..]);
+        let u = self.u;
+        // Scatter A's upper column k into y and build the row pattern:
+        // etree paths from each entry merged in topological order — the
+        // historical serial walk, unchanged.
+        let mut top = n;
+        flag[k] = k as i64;
+        y[k] = 0.0;
+        for p in u.ap[k]..u.ap[k + 1] {
+            let i0 = u.ai[p] as usize;
+            if i0 <= k {
+                y[i0] += u.ax[p];
+                let mut len = 0usize;
+                let mut i = i0;
+                while flag[i] != k as i64 {
+                    pattern[len] = i;
+                    len += 1;
+                    flag[i] = k as i64;
+                    i = self.parent[i] as usize;
+                }
+                // Move the path onto the output pattern in reverse: the
+                // final traversal visits each path segment in ascending
+                // (descendant-to-ancestor) order, later-merged branches
+                // first — topological, though not globally sorted.
+                while len > 0 {
+                    len -= 1;
+                    top -= 1;
+                    pattern[top] = pattern[len];
+                }
+            }
+        }
+        let mut dk = y[k];
+        y[k] = 0.0;
+        let rip = self.ri.get();
+        let rxp = self.rx.get();
+        // Sparse unit-lower-triangular solve `L c = a_k`, gather form:
+        // c_i = y_i − Σ_j L_ij·c_j over row i of L. Every c_j the row can
+        // reference is either an earlier pattern entry (already final in
+        // y) or zero, so off-pattern terms contribute exact zeros (a
+        // branchy flag-based skip measured slower than the multiply).
+        for &i in &pattern[top..n] {
+            let mut yi = y[i];
+            for p in self.rp[i]..self.rp[i + 1] {
+                yi -= *rxp.add(p) * y[*rip.add(p) as usize];
+            }
+            y[i] = yi;
+        }
+        // Emit row k in its topological pattern order (descendants
+        // before ancestors — the order `ri` documents), accumulate the
+        // pivot, and restore y ≡ 0 for this lane's next column.
+        let dp = self.d.get();
+        let base = self.rp[k];
+        for (idx, &i) in pattern[top..n].iter().enumerate() {
+            let ci = y[i];
+            y[i] = 0.0;
+            let l_ki = ci / *dp.add(i);
+            dk -= l_ki * ci;
+            *rip.add(base + idx) = i as u32;
+            *rxp.add(base + idx) = l_ki;
+        }
+        *dp.add(k) = dk;
+    }
+}
+
+/// Numeric phase over the level schedule: levels ascend, each level's
+/// columns spread across the pool (weighted by row length) or run inline
+/// below the crossover.
+///
+/// Returns `Err(k)` with the *permuted* index of the first failing pivot —
+/// the smallest failing column of the earliest failing level, which is
+/// exactly where the serial sweep stops (the caller maps it back through
+/// the permutation).
+#[allow(clippy::too_many_arguments)]
+fn numeric_phase(
+    u: &UpperCsc,
+    parent: &[i64],
+    rnz: &[usize],
+    rp: &[usize],
+    schedule: &LevelSchedule,
+    ri: &mut [u32],
+    rx: &mut [f64],
+    d: &mut [f64],
+) -> std::result::Result<(), usize> {
+    let n = parent.len();
+    let p = pool::Pool::global();
+    let lanes = {
+        let w = p.workers_for(rx.len(), PAR_FACTOR_MIN_NNZ, PAR_FACTOR_MIN_NNZ);
+        if w > 1 && (p.is_forced() || schedule.avg_width() >= PAR_MIN_AVG_WIDTH) {
+            w.min(schedule.max_width()).max(1)
+        } else {
+            1
+        }
+    };
+    let ctx = NumericCtx {
+        u,
+        parent,
+        rp,
+        ri: pool::SendPtr::new(ri.as_mut_ptr()),
+        rx: pool::SendPtr::new(rx.as_mut_ptr()),
+        d: pool::SendPtr::new(d.as_mut_ptr()),
+    };
+    let mut scratches: Vec<FactorScratch> = (0..lanes).map(|_| FactorScratch::new(n)).collect();
+    let mut wprefix: Vec<usize> = Vec::with_capacity(schedule.max_width() + 1);
+    for lvl in 0..schedule.level_count() {
+        let cols = schedule.level(lvl);
+        let lanes_here = lanes.min(cols.len());
+        if lanes_here <= 1 {
+            let s = &mut scratches[0];
+            for &k in cols {
+                let k = k as usize;
+                // SAFETY: serial execution — exclusive access to every
+                // output; pattern rows live in strictly lower levels,
+                // already final.
+                let dk = unsafe {
+                    ctx.factor_column(k, s);
+                    *ctx.d.get().add(k)
+                };
+                if dk == 0.0 || !dk.is_finite() {
+                    return Err(k);
+                }
+            }
+        } else {
+            // Weighted spans: row length (plus the walk) approximates each
+            // column's numeric cost well enough to balance skewed levels.
+            wprefix.clear();
+            wprefix.push(0);
+            for &k in cols {
+                wprefix.push(wprefix.last().unwrap() + rnz[k as usize] + 1);
+            }
+            let spans = pool::balanced_spans(&wprefix, lanes_here);
+            p.parallel_for_with_scratch(&spans, &mut scratches, |_, (lo, hi), s| {
+                for &k in &cols[lo..hi] {
+                    // SAFETY: one level's columns are pairwise distinct, so
+                    // each claimant writes only its own rows of `L` and
+                    // entries of `d`; every read targets strictly lower
+                    // levels, finalized before this dispatch (the pool
+                    // blocks per level).
+                    unsafe { ctx.factor_column(k as usize, s) };
+                }
+            });
+            // Deferred pivot scan — ascending, so the reported failure is
+            // the level's smallest failing column, matching the serial
+            // sweep's stopping point bit for bit.
+            for &k in cols {
+                let k = k as usize;
+                let dk = unsafe { *ctx.d.get().add(k) };
+                if dk == 0.0 || !dk.is_finite() {
+                    return Err(k);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 impl LdlFactor {
     /// Factorizes `a` using a fill-reducing ordering of the given kind.
     ///
@@ -90,7 +383,8 @@ impl LdlFactor {
     ///
     /// Returns [`SparseError::NotSquare`] for rectangular input and
     /// [`SparseError::ZeroPivot`] if a pivot vanishes (matrix not positive
-    /// definite after grounding).
+    /// definite after grounding); the reported column is in the caller's
+    /// original indexing, not the permuted one.
     pub fn new(a: &CsrMatrix, kind: OrderingKind) -> Result<Self> {
         if a.nrows() != a.ncols() {
             return Err(SparseError::NotSquare {
@@ -108,7 +402,8 @@ impl LdlFactor {
     ///
     /// Returns [`SparseError::ShapeMismatch`] if the permutation length
     /// differs from the matrix dimension, [`SparseError::NotSquare`] for
-    /// rectangular input, or [`SparseError::ZeroPivot`] on pivot breakdown.
+    /// rectangular input, or [`SparseError::ZeroPivot`] on pivot breakdown
+    /// (reporting the failing column in the caller's original indexing).
     pub fn with_permutation(a: &CsrMatrix, perm: Permutation) -> Result<Self> {
         if a.nrows() != a.ncols() {
             return Err(SparseError::NotSquare {
@@ -120,10 +415,13 @@ impl LdlFactor {
         let b = a.permute_sym(&perm)?;
         let u = upper_csc(&b);
 
-        // Symbolic: elimination tree and column counts.
+        // Symbolic: elimination tree plus exact per-column and per-row
+        // nonzero counts of L (columns size the transpose index, rows the
+        // row-major storage), in one pass of etree path walks.
         let mut parent = vec![-1i64; n];
         let mut flag = vec![-1i64; n];
-        let mut lnz = vec![0usize; n];
+        let mut cnz = vec![0usize; n];
+        let mut rnz = vec![0usize; n];
         for k in 0..n {
             flag[k] = k as i64;
             for p in u.ap[k]..u.ap[k + 1] {
@@ -133,81 +431,86 @@ impl LdlFactor {
                         if parent[i] == -1 {
                             parent[i] = k as i64;
                         }
-                        lnz[i] += 1;
+                        cnz[i] += 1;
+                        rnz[k] += 1;
                         flag[i] = k as i64;
                         i = parent[i] as usize;
                     }
                 }
             }
         }
-        let mut lp = vec![0usize; n + 1];
+        let schedule = LevelSchedule::from_parents(&parent);
+        let mut rp = vec![0usize; n + 1];
         for k in 0..n {
-            lp[k + 1] = lp[k] + lnz[k];
+            rp[k + 1] = rp[k] + rnz[k];
         }
-        let nnz_l = lp[n];
+        let nnz_l = rp[n];
 
-        // Numeric phase.
-        let mut li = vec![0u32; nnz_l];
-        let mut lx = vec![0.0f64; nnz_l];
+        // Numeric phase, level-scheduled.
+        let mut ri = vec![0u32; nnz_l];
+        let mut rx = vec![0.0f64; nnz_l];
         let mut d = vec![0.0f64; n];
-        let mut y = vec![0.0f64; n];
-        let mut pattern = vec![0usize; n];
-        let mut lfill = vec![0usize; n]; // entries written so far per column
-        let mut flag = vec![-1i64; n];
+        if let Err(k) = numeric_phase(&u, &parent, &rnz, &rp, &schedule, &mut ri, &mut rx, &mut d) {
+            return Err(SparseError::ZeroPivot {
+                column: perm.old_of_new()[k],
+            });
+        }
 
+        // Derived transpose: the CSC mirror of the row-major factor. Rows
+        // ascend, so each column's entries come out row-ascending — the
+        // order the backward sweep consumes.
+        let mut cp = vec![0usize; n + 1];
+        for j in 0..n {
+            cp[j + 1] = cp[j] + cnz[j];
+        }
+        let mut ci = vec![0u32; nnz_l];
+        let mut cx = vec![0.0f64; nnz_l];
+        let mut next = cp[..n].to_vec();
         for k in 0..n {
-            let mut top = n;
-            flag[k] = k as i64;
-            y[k] = 0.0;
-            for p in u.ap[k]..u.ap[k + 1] {
-                let i0 = u.ai[p] as usize;
-                if i0 <= k {
-                    y[i0] += u.ax[p];
-                    let mut len = 0usize;
-                    let mut i = i0;
-                    while flag[i] != k as i64 {
-                        pattern[len] = i;
-                        len += 1;
-                        flag[i] = k as i64;
-                        i = parent[i] as usize;
-                    }
-                    // Move the path onto the output pattern in reverse so the
-                    // final traversal visits ancestors in ascending order.
-                    while len > 0 {
-                        len -= 1;
-                        top -= 1;
-                        pattern[top] = pattern[len];
-                    }
-                }
-            }
-            d[k] = y[k];
-            y[k] = 0.0;
-            for &i in &pattern[top..n] {
-                let yi = y[i];
-                y[i] = 0.0;
-                let p2 = lp[i] + lfill[i];
-                for p in lp[i]..p2 {
-                    y[li[p] as usize] -= lx[p] * yi;
-                }
-                let di = d[i];
-                let l_ki = yi / di;
-                d[k] -= l_ki * yi;
-                li[p2] = k as u32;
-                lx[p2] = l_ki;
-                lfill[i] += 1;
-            }
-            if d[k] == 0.0 || !d[k].is_finite() {
-                return Err(SparseError::ZeroPivot { column: k });
+            for p in rp[k]..rp[k + 1] {
+                let j = ri[p] as usize;
+                let q = next[j];
+                next[j] += 1;
+                ci[q] = k as u32;
+                cx[q] = rx[p];
             }
         }
+
+        // Per-level sweep weights (row lengths forward, column lengths
+        // backward), segmented so each level's slice is a standalone
+        // zero-based prefix.
+        let mut sweep_weights = SweepWeights {
+            fwd: Vec::with_capacity(n + schedule.level_count()),
+            bwd: Vec::with_capacity(n + schedule.level_count()),
+            seg: Vec::with_capacity(schedule.level_count() + 1),
+        };
+        for lvl in 0..schedule.level_count() {
+            sweep_weights.seg.push(sweep_weights.fwd.len());
+            let (mut af, mut ab) = (0usize, 0usize);
+            sweep_weights.fwd.push(0);
+            sweep_weights.bwd.push(0);
+            for &j in schedule.level(lvl) {
+                let j = j as usize;
+                af += rp[j + 1] - rp[j] + 1;
+                ab += cp[j + 1] - cp[j] + 1;
+                sweep_weights.fwd.push(af);
+                sweep_weights.bwd.push(ab);
+            }
+        }
+        sweep_weights.seg.push(sweep_weights.fwd.len());
 
         Ok(LdlFactor {
             n,
             perm,
-            lp,
-            li,
-            lx,
+            rp,
+            ri,
+            rx,
+            cp,
+            ci,
+            cx,
             d,
+            schedule,
+            sweep_weights,
         })
     }
 
@@ -218,13 +521,37 @@ impl LdlFactor {
 
     /// Number of off-diagonal nonzeros in `L` (a proxy for factor memory).
     pub fn nnz_l(&self) -> usize {
-        self.lx.len()
+        self.rx.len()
     }
 
-    /// Approximate memory footprint of the factor in bytes
-    /// (values + indices + pointers + diagonal).
+    /// Number of elimination-tree levels in the schedule (0 for an empty
+    /// matrix). Deep schedules relative to [`LdlFactor::n`] mean a
+    /// path-like etree with little level parallelism.
+    pub fn level_count(&self) -> usize {
+        self.schedule.level_count()
+    }
+
+    /// Width of the widest elimination-tree level — the upper bound on the
+    /// parallelism any single factorization/solve step can use.
+    pub fn max_level_width(&self) -> usize {
+        self.schedule.max_width()
+    }
+
+    /// Approximate memory footprint of the factor in bytes: row-major
+    /// values and indices, row pointers, the transpose index, the
+    /// diagonal, the level schedule, and the permutation.
     pub fn memory_bytes(&self) -> usize {
-        self.lx.len() * (8 + 4) + self.lp.len() * 8 + self.d.len() * 8
+        use std::mem::size_of;
+        self.rx.len() * size_of::<f64>()
+            + self.ri.len() * size_of::<u32>()
+            + self.rp.len() * size_of::<usize>()
+            + self.cx.len() * size_of::<f64>()
+            + self.ci.len() * size_of::<u32>()
+            + self.cp.len() * size_of::<usize>()
+            + self.d.len() * size_of::<f64>()
+            + self.schedule.memory_bytes()
+            + self.sweep_weights.memory_bytes()
+            + self.perm.len() * 2 * size_of::<usize>()
     }
 
     /// The fill-reducing permutation used by this factor.
@@ -253,16 +580,25 @@ impl LdlFactor {
 
     /// Solves `A x = b` into a caller-provided buffer.
     ///
+    /// Routes through the scratch path with a per-thread work buffer, so
+    /// repeated calls allocate nothing after the first on a given thread.
+    ///
     /// # Panics
     ///
     /// Panics if `b.len() != n` or `x.len() != n`.
     pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
-        self.solve_into_scratch(b, x, &mut Vec::new());
+        SOLVE_WORK.with(|work| self.solve_into_scratch(b, x, &mut work.borrow_mut()));
     }
 
     /// [`LdlFactor::solve_into`] with a caller-owned work buffer, so
     /// repeated solves (iterative refinement, shift-invert Lanczos, PCG
     /// preconditioning) allocate nothing after the first call.
+    ///
+    /// Above a work crossover — or always, under an explicit
+    /// `SASS_THREADS` / [`pool::set_threads`] override — the forward and
+    /// backward substitutions run level-parallel over the elimination
+    /// tree on the worker pool, producing results identical to the serial
+    /// sweeps at every worker count.
     ///
     /// # Panics
     ///
@@ -274,31 +610,11 @@ impl LdlFactor {
         // writes every entry, so stale contents need no zeroing.
         let new_of_old = self.perm.new_of_old();
         work.resize(self.n, 0.0);
-        let y = work;
+        let y = &mut work[..];
         for (old, &new) in new_of_old.iter().enumerate() {
             y[new] = b[old];
         }
-        // Forward solve L z = y (unit diagonal).
-        for j in 0..self.n {
-            let yj = y[j];
-            if yj != 0.0 {
-                for p in self.lp[j]..self.lp[j + 1] {
-                    y[self.li[p] as usize] -= self.lx[p] * yj;
-                }
-            }
-        }
-        // Diagonal solve D w = z.
-        for j in 0..self.n {
-            y[j] /= self.d[j];
-        }
-        // Backward solve Lᵀ v = w.
-        for j in (0..self.n).rev() {
-            let mut acc = y[j];
-            for p in self.lp[j]..self.lp[j + 1] {
-                acc -= self.lx[p] * y[self.li[p] as usize];
-            }
-            y[j] = acc;
-        }
+        self.sweep_single(y);
         // Un-permute: x = Pᵀ y.
         for (old, &new) in new_of_old.iter().enumerate() {
             x[old] = y[new];
@@ -337,17 +653,20 @@ impl LdlFactor {
     /// ```
     pub fn solve_block(&self, b: &DenseBlock) -> DenseBlock {
         let mut x = DenseBlock::zeros(self.n, b.ncols());
-        self.solve_block_into_scratch(b, &mut x, &mut Vec::new());
+        self.solve_block_into(b, &mut x);
         x
     }
 
     /// [`LdlFactor::solve_block`] into a caller-provided block.
     ///
+    /// Routes through the scratch path with a per-thread work buffer, so
+    /// repeated calls allocate nothing after the first on a given thread.
+    ///
     /// # Panics
     ///
     /// Panics if `b.nrows() != n` or `x` has a different shape than `b`.
     pub fn solve_block_into(&self, b: &DenseBlock, x: &mut DenseBlock) {
-        self.solve_block_into_scratch(b, x, &mut Vec::new());
+        SOLVE_WORK.with(|work| self.solve_block_into_scratch(b, x, &mut work.borrow_mut()));
     }
 
     /// [`LdlFactor::solve_block_into`] with a caller-owned work buffer, so
@@ -355,7 +674,9 @@ impl LdlFactor {
     ///
     /// The work buffer holds one chunk of columns in *interleaved* (row-
     /// major) layout — `w[row * k + col]` — so the triangular sweeps touch
-    /// each chunk's right-hand sides contiguously per factor row.
+    /// each chunk's right-hand sides contiguously per factor row. Like the
+    /// single-vector path, the sweeps go level-parallel above a work
+    /// crossover (or under a forced pool override).
     ///
     /// # Panics
     ///
@@ -397,83 +718,273 @@ impl LdlFactor {
         }
     }
 
-    /// Forward / diagonal / backward sweeps over one interleaved chunk of
-    /// exactly `K` right-hand sides (monomorphized so the per-row inner
-    /// loops unroll).
-    fn sweep_chunk_fixed<const K: usize>(&self, w: &mut [f64]) {
-        // Forward solve L Z = Y (unit diagonal), all K columns per pass.
-        for j in 0..self.n {
-            let mut yj = [0.0f64; K];
-            yj.copy_from_slice(&w[j * K..(j + 1) * K]);
-            for p in self.lp[j]..self.lp[j + 1] {
-                let i = self.li[p] as usize;
-                let l = self.lx[p];
-                let wi = &mut w[i * K..(i + 1) * K];
-                for c in 0..K {
-                    wi[c] -= l * yj[c];
-                }
-            }
+    /// Lane count for a triangular sweep over `ncols` right-hand sides —
+    /// 1 whenever the flat serial sweeps win: below the work crossover,
+    /// or when the etree is too deep and narrow for level scheduling to
+    /// pay (near-tree factors keep their current latency). A standing
+    /// `SASS_THREADS` / [`pool::set_threads`] override skips both gates.
+    fn solve_workers(&self, ncols: usize) -> usize {
+        let p = pool::Pool::global();
+        let work = (self.rx.len() + self.n).saturating_mul(ncols);
+        let w = p.workers_for(work, PAR_SOLVE_MIN_WORK, PAR_SOLVE_MIN_WORK);
+        if w <= 1 {
+            return 1;
         }
-        // Diagonal solve D W = Z.
-        for j in 0..self.n {
-            let dj = self.d[j];
-            for c in 0..K {
-                w[j * K + c] /= dj;
-            }
+        if !p.is_forced() && self.schedule.avg_width() < PAR_MIN_AVG_WIDTH {
+            return 1;
         }
-        // Backward solve Lᵀ V = W.
-        for j in (0..self.n).rev() {
-            let mut acc = [0.0f64; K];
-            acc.copy_from_slice(&w[j * K..(j + 1) * K]);
-            for p in self.lp[j]..self.lp[j + 1] {
-                let i = self.li[p] as usize;
-                let l = self.lx[p];
-                let wi = &w[i * K..(i + 1) * K];
-                for c in 0..K {
-                    acc[c] -= l * wi[c];
-                }
+        w.min(self.schedule.max_width()).max(1)
+    }
+
+    /// One full forward / diagonal / backward sweep over the level
+    /// schedule with per-level pool dispatches: forward levels ascend
+    /// (each row reads etree descendants), backward levels descend (each
+    /// column reads ancestors), and every dispatch blocks until its level
+    /// has drained — the barrier that finalizes inputs for the next.
+    fn drive_levels(
+        &self,
+        workers: usize,
+        fwd: &(dyn Fn(usize) + Sync),
+        diag: &(dyn Fn(usize) + Sync),
+        bwd: &(dyn Fn(usize) + Sync),
+    ) {
+        let p = pool::Pool::global();
+        for lvl in 0..self.schedule.level_count() {
+            run_level(
+                p,
+                self.schedule.level(lvl),
+                self.sweep_weights.level_fwd(lvl),
+                workers,
+                fwd,
+            );
+        }
+        let spans = pool::even_spans(self.n, workers);
+        if spans.len() <= 1 {
+            for j in 0..self.n {
+                diag(j);
             }
-            w[j * K..(j + 1) * K].copy_from_slice(&acc);
+        } else {
+            p.parallel_for_spans(&spans, |_, (lo, hi)| {
+                for j in lo..hi {
+                    diag(j);
+                }
+            });
+        }
+        for lvl in (0..self.schedule.level_count()).rev() {
+            run_level(
+                p,
+                self.schedule.level(lvl),
+                self.sweep_weights.level_bwd(lvl),
+                workers,
+                bwd,
+            );
         }
     }
 
-    /// The same sweeps for a partial tail chunk of `k < LDL_BLOCK_WIDTH`
-    /// columns.
-    fn sweep_chunk_dyn(&self, w: &mut [f64], k: usize) {
-        debug_assert!(k <= LDL_BLOCK_WIDTH);
-        let mut stage = [0.0f64; LDL_BLOCK_WIDTH];
-        for j in 0..self.n {
-            let yj = &mut stage[..k];
-            yj.copy_from_slice(&w[j * k..(j + 1) * k]);
-            for p in self.lp[j]..self.lp[j + 1] {
-                let i = self.li[p] as usize;
-                let l = self.lx[p];
-                let wi = &mut w[i * k..(i + 1) * k];
-                for c in 0..k {
-                    wi[c] -= l * yj[c];
+    /// One forward-substitution row in gather form: `y_j ← y_j − Σ L_jk
+    /// y_k` over row `j` of `L`.
+    ///
+    /// # Safety
+    ///
+    /// `y` must cover `n` elements; the caller must hold an exclusive
+    /// claim on `y[j]`, and every `y` entry row `j` references (strictly
+    /// lower etree levels) must be final.
+    unsafe fn forward_row(&self, j: usize, y: &pool::SendPtr<f64>) {
+        let base = y.get();
+        let mut acc = *base.add(j);
+        for p in self.rp[j]..self.rp[j + 1] {
+            acc -= self.rx[p] * *base.add(self.ri[p] as usize);
+        }
+        *base.add(j) = acc;
+    }
+
+    /// One backward-substitution column in gather form, via the transpose
+    /// index: `y_j ← y_j − Σ L_kj y_k` over column `j` of `L`.
+    ///
+    /// # Safety
+    ///
+    /// As [`LdlFactor::forward_row`], but the entries column `j`
+    /// references live in strictly *higher* etree levels.
+    unsafe fn backward_col(&self, j: usize, y: &pool::SendPtr<f64>) {
+        let base = y.get();
+        let mut acc = *base.add(j);
+        for p in self.cp[j]..self.cp[j + 1] {
+            acc -= self.cx[p] * *base.add(self.ci[p] as usize);
+        }
+        *base.add(j) = acc;
+    }
+
+    /// Forward / diagonal / backward sweeps for one right-hand side.
+    fn sweep_single(&self, y: &mut [f64]) {
+        let workers = self.solve_workers(1);
+        let yp = pool::SendPtr::new(y.as_mut_ptr());
+        if workers <= 1 {
+            // SAFETY: exclusive borrow of y; flat ascending (descending)
+            // order satisfies every row's (column's) dependencies.
+            unsafe {
+                for j in 0..self.n {
+                    self.forward_row(j, &yp);
+                }
+                for j in 0..self.n {
+                    *yp.get().add(j) /= self.d[j];
+                }
+                for j in (0..self.n).rev() {
+                    self.backward_col(j, &yp);
                 }
             }
+            return;
         }
-        for j in 0..self.n {
-            let dj = self.d[j];
-            for c in 0..k {
-                w[j * k + c] /= dj;
+        // SAFETY: a level's columns are pairwise distinct, so each
+        // claimant writes only its own y[j]; levels barrier between
+        // dispatches, so every cross-level read sees finalized values.
+        // Each y[j] is produced by the same operation sequence reading
+        // the same inputs as the serial sweep, whichever lane runs it.
+        self.drive_levels(
+            workers,
+            &|j| unsafe { self.forward_row(j, &yp) },
+            &|j| unsafe { *yp.get().add(j) /= self.d[j] },
+            &|j| unsafe { self.backward_col(j, &yp) },
+        );
+    }
+
+    /// [`LdlFactor::forward_row`] over an interleaved chunk of exactly `K`
+    /// right-hand sides (monomorphized so the inner loop unrolls).
+    ///
+    /// # Safety
+    ///
+    /// As [`LdlFactor::forward_row`], with `w` covering `n · K` elements
+    /// and the claim covering `w[j·K..(j+1)·K]`.
+    unsafe fn forward_row_block<const K: usize>(&self, j: usize, w: &pool::SendPtr<f64>) {
+        let base = w.get();
+        let mut acc = [0.0f64; K];
+        acc.copy_from_slice(std::slice::from_raw_parts(base.add(j * K), K));
+        for p in self.rp[j]..self.rp[j + 1] {
+            let i = self.ri[p] as usize;
+            let l = self.rx[p];
+            let wi = std::slice::from_raw_parts(base.add(i * K), K);
+            for c in 0..K {
+                acc[c] -= l * wi[c];
             }
         }
-        for j in (0..self.n).rev() {
-            let acc = &mut stage[..k];
-            acc.copy_from_slice(&w[j * k..(j + 1) * k]);
-            for p in self.lp[j]..self.lp[j + 1] {
-                let i = self.li[p] as usize;
-                let l = self.lx[p];
-                let wi = &w[i * k..(i + 1) * k];
-                for c in 0..k {
-                    acc[c] -= l * wi[c];
-                }
-            }
-            w[j * k..(j + 1) * k].copy_from_slice(acc);
+        std::slice::from_raw_parts_mut(base.add(j * K), K).copy_from_slice(&acc);
+    }
+
+    /// Diagonal scaling of one interleaved chunk row.
+    ///
+    /// # Safety
+    ///
+    /// `w` must cover `n · K` elements with an exclusive claim on
+    /// `w[j·K..(j+1)·K]`.
+    unsafe fn scale_row_block<const K: usize>(&self, j: usize, w: &pool::SendPtr<f64>) {
+        let dj = self.d[j];
+        let wj = std::slice::from_raw_parts_mut(w.get().add(j * K), K);
+        for c in 0..K {
+            wj[c] /= dj;
         }
     }
+
+    /// [`LdlFactor::backward_col`] over an interleaved chunk of exactly
+    /// `K` right-hand sides.
+    ///
+    /// # Safety
+    ///
+    /// As [`LdlFactor::forward_row_block`], but referenced entries live in
+    /// strictly higher etree levels.
+    unsafe fn backward_col_block<const K: usize>(&self, j: usize, w: &pool::SendPtr<f64>) {
+        let base = w.get();
+        let mut acc = [0.0f64; K];
+        acc.copy_from_slice(std::slice::from_raw_parts(base.add(j * K), K));
+        for p in self.cp[j]..self.cp[j + 1] {
+            let i = self.ci[p] as usize;
+            let l = self.cx[p];
+            let wi = std::slice::from_raw_parts(base.add(i * K), K);
+            for c in 0..K {
+                acc[c] -= l * wi[c];
+            }
+        }
+        std::slice::from_raw_parts_mut(base.add(j * K), K).copy_from_slice(&acc);
+    }
+
+    /// Forward / diagonal / backward sweeps over one interleaved chunk of
+    /// exactly `K` right-hand sides.
+    fn sweep_chunk_fixed<const K: usize>(&self, w: &mut [f64]) {
+        let workers = self.solve_workers(K);
+        let wp = pool::SendPtr::new(w.as_mut_ptr());
+        if workers <= 1 {
+            // SAFETY: exclusive borrow of w; flat order satisfies every
+            // dependency (see `sweep_single`).
+            unsafe {
+                for j in 0..self.n {
+                    self.forward_row_block::<K>(j, &wp);
+                }
+                for j in 0..self.n {
+                    self.scale_row_block::<K>(j, &wp);
+                }
+                for j in (0..self.n).rev() {
+                    self.backward_col_block::<K>(j, &wp);
+                }
+            }
+            return;
+        }
+        // SAFETY: as `sweep_single` — each column owns its contiguous
+        // K-wide chunk row, levels barrier between dispatches.
+        self.drive_levels(
+            workers,
+            &|j| unsafe { self.forward_row_block::<K>(j, &wp) },
+            &|j| unsafe { self.scale_row_block::<K>(j, &wp) },
+            &|j| unsafe { self.backward_col_block::<K>(j, &wp) },
+        );
+    }
+
+    /// The same sweeps for a partial tail chunk of `k < LDL_BLOCK_WIDTH`
+    /// columns — monomorphized per width so the tail reuses the exact
+    /// fixed-width kernels (identical float-operation sequences, unrolled
+    /// inner loops, one implementation to maintain).
+    fn sweep_chunk_dyn(&self, w: &mut [f64], k: usize) {
+        match k {
+            1 => self.sweep_chunk_fixed::<1>(w),
+            2 => self.sweep_chunk_fixed::<2>(w),
+            3 => self.sweep_chunk_fixed::<3>(w),
+            4 => self.sweep_chunk_fixed::<4>(w),
+            5 => self.sweep_chunk_fixed::<5>(w),
+            6 => self.sweep_chunk_fixed::<6>(w),
+            7 => self.sweep_chunk_fixed::<7>(w),
+            _ => unreachable!("tail chunk width {k} out of [1, {LDL_BLOCK_WIDTH})"),
+        }
+    }
+}
+
+/// Dispatches one level's columns across the pool (or inline when the
+/// level is narrower than two lanes).
+fn run_level(
+    p: &pool::Pool,
+    cols: &[u32],
+    wprefix: &[usize],
+    workers: usize,
+    f: &(dyn Fn(usize) + Sync),
+) {
+    debug_assert_eq!(wprefix.len(), cols.len() + 1);
+    let lanes = workers.min(cols.len());
+    if lanes <= 1 {
+        for &j in cols {
+            f(j as usize);
+        }
+        return;
+    }
+    // Work-weighted split: a level mixing hub rows with singletons must
+    // not hand one lane everything while the rest idle at the barrier.
+    let spans = pool::balanced_spans(wprefix, lanes);
+    if spans.len() <= 1 {
+        for &j in cols {
+            f(j as usize);
+        }
+        return;
+    }
+    p.parallel_for_spans(&spans, |_, (lo, hi)| {
+        for &j in &cols[lo..hi] {
+            f(j as usize);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -517,6 +1028,9 @@ mod tests {
         let f = LdlFactor::new(&a, OrderingKind::Natural).unwrap();
         assert_eq!(f.nnz_l(), 0);
         assert!(f.d().iter().all(|&d| (d - 1.0).abs() < 1e-15));
+        // No dependencies at all: one level holding every column.
+        assert_eq!(f.level_count(), 1);
+        assert_eq!(f.max_level_width(), 10);
     }
 
     #[test]
@@ -528,6 +1042,25 @@ mod tests {
         coo.push_sym(0, 1, -1.0);
         let err = LdlFactor::new(&coo.to_csr(), OrderingKind::Natural).unwrap_err();
         assert!(matches!(err, SparseError::ZeroPivot { .. }));
+    }
+
+    /// Regression: the `ZeroPivot` column must name the caller's original
+    /// vertex, not the position the fill-reducing permutation moved it to.
+    #[test]
+    fn zero_pivot_reports_original_index() {
+        // Vertex 2 has an empty row, so its pivot is exactly zero.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let a = coo.to_csr();
+        // Permutation placing old vertex 2 first: the failure happens at
+        // permuted column 0 but must be reported as column 2.
+        let perm = Permutation::from_old_of_new(vec![2, 0, 1]).unwrap();
+        let err = LdlFactor::with_permutation(&a, perm).unwrap_err();
+        assert_eq!(err, SparseError::ZeroPivot { column: 2 });
+        // Natural ordering reports it unchanged.
+        let err = LdlFactor::new(&a, OrderingKind::Natural).unwrap_err();
+        assert_eq!(err, SparseError::ZeroPivot { column: 2 });
     }
 
     #[test]
@@ -571,6 +1104,42 @@ mod tests {
         assert!(f.memory_bytes() > 0);
     }
 
+    /// A natural-order tridiagonal factor has a pure path etree: n levels
+    /// of width one — the degenerate schedule the crossover guards.
+    #[test]
+    fn path_etree_level_stats() {
+        let a = spd_tridiag(12);
+        let f = LdlFactor::new(&a, OrderingKind::Natural).unwrap();
+        assert_eq!(f.level_count(), 12);
+        assert_eq!(f.max_level_width(), 1);
+    }
+
+    /// A star grounded at its center, center ordered last: every leaf is
+    /// independent (one wide level) and the center depends on all of them.
+    #[test]
+    fn star_etree_level_stats() {
+        let n = 9;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i, i, 2.0);
+            coo.push_sym(i, n - 1, -1.0);
+        }
+        coo.push(n - 1, n - 1, n as f64);
+        let f = LdlFactor::new(&coo.to_csr(), OrderingKind::Natural).unwrap();
+        assert_eq!(f.level_count(), 2);
+        assert_eq!(f.max_level_width(), n - 1);
+    }
+
+    #[test]
+    fn memory_bytes_counts_schedule_and_permutation() {
+        let a = spd_tridiag(16);
+        let f = LdlFactor::new(&a, OrderingKind::Rcm).unwrap();
+        let values_and_indices = f.nnz_l() * (8 + 4) * 2 + (f.n() + 1) * 8 * 2 + f.n() * 8;
+        // Schedule + permutation storage must be included on top of the
+        // factor arrays themselves.
+        assert!(f.memory_bytes() > values_and_indices);
+    }
+
     #[test]
     fn solve_into_matches_solve() {
         let a = spd_tridiag(16);
@@ -580,6 +1149,9 @@ mod tests {
         let mut x2 = vec![0.0; 16];
         f.solve_into(&b, &mut x2);
         assert_eq!(x1, x2);
+        let mut x3 = vec![0.0; 16];
+        f.solve_into_scratch(&b, &mut x3, &mut Vec::new());
+        assert_eq!(x1, x3);
     }
 
     /// Blocked solves must match the per-RHS path across full blocks,

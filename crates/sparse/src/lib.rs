@@ -17,7 +17,9 @@
 //! - [`LdlFactor`]: an up-looking sparse `L D Lᵀ` factorization
 //!   (CSparse/LDL style) with elimination-tree symbolic analysis, including
 //!   blocked multi-right-hand-side solves over [`DenseBlock`] multivectors
-//!   (one factor sweep per [`LDL_BLOCK_WIDTH`] columns),
+//!   (one factor sweep per [`LDL_BLOCK_WIDTH`] columns); the numeric phase
+//!   and both triangular sweeps run level-parallel over the elimination
+//!   tree ([`etree`]) on the worker pool,
 //! - [`DenseBlock`]: a column-major dense multivector, the carrier type for
 //!   every batched-RHS API in the workspace,
 //! - fill-reducing orderings ([`ordering`]): reverse Cuthill–McKee,
@@ -61,6 +63,7 @@ mod parallel;
 mod perm;
 
 pub mod dense;
+pub mod etree;
 pub mod mmio;
 pub mod ordering;
 pub mod pool;

@@ -455,6 +455,40 @@ impl Pool {
             f(i, chunk);
         });
     }
+
+    /// Runs `f(span_index, span, &mut scratch[span_index])` for every span
+    /// — the dispatch shape for kernels whose per-lane state is too big to
+    /// rebuild per call (the level-scheduled LDLᵀ numeric phase hands each
+    /// span an `O(n)` workspace of dense accumulators and visit flags).
+    ///
+    /// Each span index claims exactly one scratch slot, so slots are
+    /// exclusive per claimant; `scratch` may be longer than `spans` (extra
+    /// slots are untouched, letting callers size it once for the widest
+    /// dispatch and reuse it across levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch.len() < spans.len()`.
+    pub fn parallel_for_with_scratch<S, F>(&self, spans: &[Span], scratch: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(usize, Span, &mut S) + Sync,
+    {
+        assert!(
+            scratch.len() >= spans.len(),
+            "parallel_for_with_scratch: {} scratch slots for {} spans",
+            scratch.len(),
+            spans.len()
+        );
+        let base = SendPtr(scratch.as_mut_ptr());
+        self.run_erased(spans.len(), &|i| {
+            // SAFETY: slot `i` belongs to span `i` alone — every item index
+            // is claimed exactly once — and `scratch` stays mutably
+            // borrowed for the whole (blocking) dispatch.
+            let slot = unsafe { &mut *base.get().add(i) };
+            f(i, spans[i], slot);
+        });
+    }
 }
 
 impl Drop for Pool {
@@ -470,17 +504,25 @@ impl Drop for Pool {
     }
 }
 
-/// Raw base pointer that may cross threads; soundness comes from span
-/// disjointness, argued at the use site.
-struct SendPtr<T>(*mut T);
-// SAFETY: only ever used to carve pairwise-disjoint chunks, each touched
+/// Raw base pointer that may cross threads; soundness comes from access
+/// disjointness, argued at each use site. Crate-visible so kernels with
+/// scattered (non-contiguous) per-claimant writes — the level-scheduled
+/// LDLᵀ sweeps — can make the same argument [`Pool::parallel_for_disjoint_mut`]
+/// makes for contiguous chunks.
+pub(crate) struct SendPtr<T>(*mut T);
+// SAFETY: only ever used to carve pairwise-disjoint regions, each touched
 // by exactly one claimant at a time.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
+    /// Wraps a base pointer for cross-thread disjoint access.
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
     /// Accessor instead of direct field use so closures capture the
     /// (`Sync`) wrapper rather than the bare non-`Sync` pointer field.
-    fn get(&self) -> *mut T {
+    pub(crate) fn get(&self) -> *mut T {
         self.0
     }
 }
@@ -653,6 +695,33 @@ mod tests {
             }
         });
         assert_eq!(out, vec![1, 1, 1, 0, 0, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn scratch_slots_are_exclusive_per_span() {
+        let pool = Pool::with_threads(3);
+        let spans = even_spans(24, 6);
+        // Each slot must see only its own span's writes; extra slots are
+        // untouched.
+        let mut scratch: Vec<Vec<usize>> = vec![Vec::new(); 8];
+        pool.parallel_for_with_scratch(&spans, &mut scratch, |i, (lo, hi), s| {
+            s.extend(lo..hi);
+            s.push(i);
+        });
+        for (i, (&(lo, hi), s)) in spans.iter().zip(&scratch).enumerate() {
+            let mut want: Vec<usize> = (lo..hi).collect();
+            want.push(i);
+            assert_eq!(s, &want);
+        }
+        assert!(scratch[6].is_empty() && scratch[7].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch slots")]
+    fn scratch_shorter_than_spans_is_rejected() {
+        let pool = Pool::with_threads(2);
+        let mut scratch = vec![0u8; 1];
+        pool.parallel_for_with_scratch(&even_spans(8, 4), &mut scratch, |_, _, _| {});
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Storage-backend SpMV comparison: CSR vs CSC vs BCSR (2×2 and 4×4
+//! tiles) × `f64`/`f32` × serial/forced-two-lane, on the workspace's
+//! three canonical workload shapes — an FEM mesh (clustered rows that tile
+//! well), a scale-free graph (hub rows, the span-balancing stress case)
+//! and a circuit grid (the paper's own workload: bounded degree, weights
+//! over orders of magnitude).
+//!
+//! The `f64` rows are bit-identical across layouts by construction (the
+//! backend-parity proptests pin that), so the comparison is purely
+//! bandwidth and dispatch: index memory per stored scalar, padding waste
+//! (the `BCSR pad` column of the printout), and how well each layout's
+//! threaded kernel balances. `f32` rows (`--features storage-f32`) halve
+//! value bandwidth for kernels that only need ranking precision.
+//!
+//! The `w2` rows force two pool lanes via `pool::set_threads(2)` —
+//! meaningful even on a single-core container as a dispatch-overhead
+//! bound, and a real speedup measurement on multi-core hardware. This
+//! bench records the `BENCH_BACKENDS.json` baseline; re-record with
+//!
+//! ```text
+//! CRITERION_JSON=BENCH_BACKENDS.json cargo bench -p sass-bench \
+//!     --bench backends --features storage-f32
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_graph::generators::{barabasi_albert, circuit_grid, fem_mesh2d};
+use sass_graph::Graph;
+use sass_sparse::{pool, BcsrMatrix, CscMatrix, CsrMatrix, Scalar, SparseBackend};
+
+fn workloads() -> Vec<(String, Graph)> {
+    vec![
+        ("mesh_96x96".to_string(), fem_mesh2d(96, 96, 7)),
+        (
+            "scale_free_n20k_m6".to_string(),
+            barabasi_albert(20_000, 6, 7),
+        ),
+        (
+            "circuit_128x128".to_string(),
+            circuit_grid(128, 128, 0.1, 7),
+        ),
+    ]
+}
+
+/// One serial row and one forced-two-lane row for a backend instance,
+/// through the uniform [`SparseBackend`] kernel surface.
+fn bench_backend<B: SparseBackend>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    workload: &str,
+    m: &B,
+) {
+    let x: Vec<B::Scalar> = (0..m.ncols())
+        .map(|i| B::Scalar::from_f64(((i * 37 % 101) as f64) * 0.02 - 1.0))
+        .collect();
+    let mut y = vec![B::Scalar::ZERO; m.nrows()];
+    group.bench_with_input(
+        BenchmarkId::new(format!("{label}/serial"), workload),
+        m,
+        |b, m| b.iter(|| m.mul_vec_into(&x, &mut y)),
+    );
+    pool::set_threads(2);
+    group.bench_with_input(
+        BenchmarkId::new(format!("{label}/w2"), workload),
+        m,
+        |b, m| b.iter(|| m.par_mul_vec_into(&x, &mut y)),
+    );
+    pool::set_threads(0);
+}
+
+fn bench_scalar<S: Scalar>(group: &mut criterion::BenchmarkGroup<'_>, name: &str, l64: &CsrMatrix) {
+    let csr: CsrMatrix<S> = l64.to_scalar();
+    let csc = CscMatrix::from_csr(&csr);
+    let bcsr2 = BcsrMatrix::from_csr(&csr, 2);
+    let bcsr4 = BcsrMatrix::from_csr(&csr, 4);
+    println!(
+        "# {name}: n = {}, nnz = {}, {}: BCSR pad 2x2 = {:.2}x, 4x4 = {:.2}x, CSC bytes = {:.2}x CSR",
+        csr.nrows(),
+        csr.nnz(),
+        S::NAME,
+        bcsr2.scalar_nnz() as f64 / csr.nnz() as f64,
+        bcsr4.scalar_nnz() as f64 / csr.nnz() as f64,
+        SparseBackend::memory_bytes(&csc) as f64 / csr.memory_bytes() as f64,
+    );
+    let scalar = S::NAME;
+    bench_backend(group, &format!("csr_{scalar}"), name, &csr);
+    bench_backend(group, &format!("csc_{scalar}"), name, &csc);
+    bench_backend(group, &format!("bcsr2_{scalar}"), name, &bcsr2);
+    bench_backend(group, &format!("bcsr4_{scalar}"), name, &bcsr4);
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backends");
+    group.sample_size(20);
+    for (name, g) in workloads() {
+        let l = g.laplacian();
+        bench_scalar::<f64>(&mut group, &name, &l);
+        #[cfg(feature = "storage-f32")]
+        bench_scalar::<f32>(&mut group, &name, &l);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

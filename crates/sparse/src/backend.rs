@@ -1,0 +1,298 @@
+//! The [`SparseBackend`] abstraction — one interface over every storage
+//! layout × scalar width the workspace supports.
+//!
+//! The paper's pipeline is dominated by repeated Laplacian applies
+//! (off-tree heat power steps, PCG iterations, λmax probes), and which
+//! storage layout serves them best depends on the workload:
+//!
+//! | backend | layout | pick it when |
+//! |---|---|---|
+//! | [`CsrMatrix`] | row-major | the default — row gather, cheapest memory, every kernel |
+//! | [`CscMatrix`] | column-major + row mirror | column access dominates (factor updates, column scaling) |
+//! | [`BcsrMatrix`] | register-blocked rows | nonzeros cluster into tiles (meshes, geometric orderings) |
+//!
+//! Each backend comes in `f64` (default) and, behind the `storage-f32`
+//! feature, `f32` — half the value bandwidth for kernels that only need
+//! ranking precision (the edge filter orders edges by relative heat; it
+//! does not difference them). All `f64` backends produce **bit-for-bit
+//! identical** products at every worker count; the backend-parity
+//! proptests pin that down.
+//!
+//! [`SparseBackend`] is deliberately small: construction from the
+//! canonical `f64` CSR assembly (what [`crate::CooMatrix`] and the graph
+//! crate produce), shape/size introspection, and the two product kernels.
+//! Anything layout-specific (column slices, block access) stays on the
+//! concrete types. Generic consumers — `GroundedSolver::from_backend`,
+//! `off_tree_heat`, the gsp filters via [`crate::LinearOperator`] — bound
+//! on this trait (usually with `Scalar = f64`) and work with any
+//! backend; the planned sharding layer serializes exactly this surface
+//! across its RPC boundary.
+
+use crate::{BcsrMatrix, CscMatrix, CsrMatrix, Scalar};
+
+/// A concrete sparse-matrix storage backend (see the [module
+/// docs](self) for the layout comparison).
+///
+/// # Example
+///
+/// ```
+/// use sass_sparse::{CooMatrix, CscMatrix, SparseBackend};
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 2.0);
+/// coo.push(1, 1, 3.0);
+/// let a = coo.to_csr();
+/// let csc: CscMatrix = SparseBackend::from_csr_f64(&a);
+/// assert_eq!(csc.mul_vec(&[1.0, 1.0]), vec![2.0, 3.0]);
+/// assert_eq!(<CscMatrix as SparseBackend>::NAME, "csc");
+/// ```
+pub trait SparseBackend: Clone + Send + Sync + 'static {
+    /// Element type of the stored values (`f64`, or `f32` behind the
+    /// `storage-f32` feature).
+    type Scalar: Scalar;
+
+    /// Short lowercase layout name (`"csr"`, `"csc"`, `"bcsr"`) for bench
+    /// labels and diagnostics.
+    const NAME: &'static str;
+
+    /// Builds the backend from the canonical `f64` CSR assembly — the
+    /// single entry point every constructor in the workspace (COO
+    /// conversion, graph → Laplacian) funnels through. For `f32`
+    /// backends this is where the one lossy rounding step happens
+    /// ([`Scalar::from_f64`]).
+    fn from_csr_f64(a: &CsrMatrix) -> Self;
+
+    /// Converts back to row-major storage at the backend's own scalar
+    /// width.
+    fn to_csr(&self) -> CsrMatrix<Self::Scalar>;
+
+    /// Number of rows.
+    fn nrows(&self) -> usize;
+
+    /// Number of columns.
+    fn ncols(&self) -> usize;
+
+    /// Number of stored **scalars** — for blocked storage this counts
+    /// padding (block count × block area), because it is what the
+    /// kernels stream and what span balancing weighs.
+    fn scalar_nnz(&self) -> usize;
+
+    /// Approximate heap memory held by the backend, in bytes (derived
+    /// indices such as the CSC row mirror included).
+    fn memory_bytes(&self) -> usize;
+
+    /// Matrix-vector product `y = A·x` on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    fn mul_vec_into(&self, x: &[Self::Scalar], y: &mut [Self::Scalar]);
+
+    /// Matrix-vector product through the backend's threaded fast path,
+    /// falling back to [`SparseBackend::mul_vec_into`] below the size
+    /// crossover — and always, when the `parallel` feature is off. Every
+    /// backend's implementation is bit-for-bit identical to its serial
+    /// kernel at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    fn par_mul_vec_into(&self, x: &[Self::Scalar], y: &mut [Self::Scalar]);
+
+    /// Allocating form of [`SparseBackend::mul_vec_into`].
+    fn mul_vec(&self, x: &[Self::Scalar]) -> Vec<Self::Scalar> {
+        let mut y = vec![Self::Scalar::ZERO; self.nrows()];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+}
+
+impl<S: Scalar> SparseBackend for CsrMatrix<S> {
+    type Scalar = S;
+    const NAME: &'static str = "csr";
+
+    fn from_csr_f64(a: &CsrMatrix) -> Self {
+        a.to_scalar()
+    }
+
+    fn to_csr(&self) -> CsrMatrix<S> {
+        self.clone()
+    }
+
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+
+    fn scalar_nnz(&self) -> usize {
+        self.nnz()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        CsrMatrix::memory_bytes(self)
+    }
+
+    fn mul_vec_into(&self, x: &[S], y: &mut [S]) {
+        CsrMatrix::mul_vec_into(self, x, y);
+    }
+
+    fn par_mul_vec_into(&self, x: &[S], y: &mut [S]) {
+        #[cfg(feature = "parallel")]
+        CsrMatrix::par_mul_vec_into(self, x, y);
+        #[cfg(not(feature = "parallel"))]
+        CsrMatrix::mul_vec_into(self, x, y);
+    }
+}
+
+impl<S: Scalar> SparseBackend for CscMatrix<S> {
+    type Scalar = S;
+    const NAME: &'static str = "csc";
+
+    fn from_csr_f64(a: &CsrMatrix) -> Self {
+        CscMatrix::from_csr_owned(a.to_scalar())
+    }
+
+    fn to_csr(&self) -> CsrMatrix<S> {
+        CscMatrix::to_csr(self)
+    }
+
+    fn nrows(&self) -> usize {
+        CscMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CscMatrix::ncols(self)
+    }
+
+    fn scalar_nnz(&self) -> usize {
+        self.nnz()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        CscMatrix::memory_bytes(self)
+    }
+
+    fn mul_vec_into(&self, x: &[S], y: &mut [S]) {
+        CscMatrix::mul_vec_into(self, x, y);
+    }
+
+    fn par_mul_vec_into(&self, x: &[S], y: &mut [S]) {
+        #[cfg(feature = "parallel")]
+        CscMatrix::par_mul_vec_into(self, x, y);
+        #[cfg(not(feature = "parallel"))]
+        CscMatrix::mul_vec_into(self, x, y);
+    }
+}
+
+/// The trait constructor tiles with 2×2 blocks — the conservative choice
+/// that pads least on the scattered patterns graph Laplacians produce.
+/// Use [`BcsrMatrix::from_csr`] directly to pick 4×4 tiles for matrices
+/// whose nonzeros cluster (the `backends` bench compares both).
+impl<S: Scalar> SparseBackend for BcsrMatrix<S> {
+    type Scalar = S;
+    const NAME: &'static str = "bcsr";
+
+    fn from_csr_f64(a: &CsrMatrix) -> Self {
+        BcsrMatrix::from_csr(&a.to_scalar(), 2)
+    }
+
+    fn to_csr(&self) -> CsrMatrix<S> {
+        BcsrMatrix::to_csr(self)
+    }
+
+    fn nrows(&self) -> usize {
+        BcsrMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        BcsrMatrix::ncols(self)
+    }
+
+    fn scalar_nnz(&self) -> usize {
+        BcsrMatrix::scalar_nnz(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        BcsrMatrix::memory_bytes(self)
+    }
+
+    fn mul_vec_into(&self, x: &[S], y: &mut [S]) {
+        BcsrMatrix::mul_vec_into(self, x, y);
+    }
+
+    fn par_mul_vec_into(&self, x: &[S], y: &mut [S]) {
+        #[cfg(feature = "parallel")]
+        BcsrMatrix::par_mul_vec_into(self, x, y);
+        #[cfg(not(feature = "parallel"))]
+        BcsrMatrix::mul_vec_into(self, x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(5, 5);
+        for i in 0..5 {
+            coo.push(i, i, 2.0 + i as f64);
+        }
+        coo.push_sym(0, 3, -1.25);
+        coo.push_sym(1, 4, 0.5);
+        coo.to_csr()
+    }
+
+    fn check_backend<B: SparseBackend<Scalar = f64>>(a: &CsrMatrix) {
+        let b = B::from_csr_f64(a);
+        assert_eq!(b.nrows(), a.nrows());
+        assert_eq!(b.ncols(), a.ncols());
+        assert!(b.scalar_nnz() >= a.nnz());
+        assert!(b.memory_bytes() > 0);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.7).sin()).collect();
+        assert_eq!(b.mul_vec(&x), a.mul_vec(&x), "{}", B::NAME);
+        let mut y = vec![0.0; a.nrows()];
+        b.par_mul_vec_into(&x, &mut y);
+        assert_eq!(y, a.mul_vec(&x), "{} (par)", B::NAME);
+        // Round trip through CSR reproduces every entry.
+        let back = b.to_csr();
+        for i in 0..a.nrows() {
+            for j in 0..a.ncols() {
+                assert_eq!(back.get(i, j), a.get(i, j), "{} ({i},{j})", B::NAME);
+            }
+        }
+    }
+
+    #[test]
+    fn all_f64_backends_agree_with_the_assembly() {
+        let a = sample();
+        check_backend::<CsrMatrix>(&a);
+        check_backend::<CscMatrix>(&a);
+        check_backend::<BcsrMatrix>(&a);
+    }
+
+    #[cfg(feature = "storage-f32")]
+    #[test]
+    fn f32_backends_track_f64_to_single_precision() {
+        let a = sample();
+        let x: Vec<f64> = (0..5).map(|i| (i as f64 * 0.7).cos()).collect();
+        let want = a.mul_vec(&x);
+        let xs: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        fn check<B: SparseBackend<Scalar = f32>>(a: &CsrMatrix, xs: &[f32], want: &[f64]) {
+            let b = B::from_csr_f64(a);
+            for (got, want) in b.mul_vec(xs).iter().zip(want) {
+                assert!(
+                    (got.to_f64() - want).abs() <= 1e-5 * want.abs().max(1.0),
+                    "{}: {got} vs {want}",
+                    B::NAME
+                );
+            }
+        }
+        check::<CsrMatrix<f32>>(&a, &xs, &want);
+        check::<CscMatrix<f32>>(&a, &xs, &want);
+        check::<BcsrMatrix<f32>>(&a, &xs, &want);
+    }
+}

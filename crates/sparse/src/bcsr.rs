@@ -1,0 +1,475 @@
+//! Register-blocked CSR storage — the SpMV-bandwidth backend.
+//!
+//! [`BcsrMatrix`] tiles the matrix into dense `b × b` blocks (`b` = 2 or
+//! 4) and stores one column index per *block* instead of per scalar:
+//! index memory shrinks by up to `b²`, inner loops run over fixed-size
+//! dense tiles the compiler can keep in registers, and each block row
+//! streams `b` output rows per pass. Blocks that the sparsity pattern
+//! only partially fills are padded with explicit zeros, so BCSR pays off
+//! on matrices whose nonzeros cluster into tiles (meshes, circuit grids
+//! ordered by geometry) and wastes storage on scattered patterns — the
+//! `backends` bench measures exactly that trade per workload.
+//!
+//! The products are **bit-for-bit identical** to the CSR kernels for
+//! finite inputs: each output row accumulates the same contributions in
+//! the same ascending-column order, and padded entries contribute
+//! `0·xⱼ` terms that cannot change a finite IEEE sum (the sealed
+//! [`Scalar`] trait is what licenses that reasoning).
+//!
+//! The threaded product dispatches block rows over the worker pool with
+//! spans weighted by **scalar** nnz — [`pool::balanced_spans`] over the
+//! block-count prefix, which for a fixed block area is exactly
+//! proportional to stored scalars — never an even block-row split, so one
+//! hub block row of a scale-free graph cannot swallow a lane's worth of
+//! tail rows alongside itself (the weight-accounting regression the pool
+//! and BCSR tests pin down). The serial-vs-threaded crossover likewise
+//! counts stored scalars (block count × block area), not blocks.
+
+#[cfg(feature = "parallel")]
+use crate::pool;
+use crate::{CsrMatrix, Scalar};
+
+/// Block-compressed sparse row matrix with square `b × b` blocks, `b` ∈
+/// {2, 4} (see the [module docs](self) for the layout rationale).
+///
+/// # Example
+///
+/// ```
+/// use sass_sparse::{BcsrMatrix, CooMatrix};
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 1.0);
+/// coo.push_sym(0, 1, -1.0);
+/// coo.push(1, 1, 1.0);
+/// let a: BcsrMatrix = BcsrMatrix::from_csr(&coo.to_csr(), 2);
+/// assert_eq!(a.block_size(), 2);
+/// assert_eq!(a.block_count(), 1); // the whole 2×2 matrix is one block
+/// assert_eq!(a.mul_vec(&[1.0, -1.0]), vec![2.0, -2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcsrMatrix<S: Scalar = f64> {
+    /// Block edge length (2 or 4).
+    b: usize,
+    nrows: usize,
+    ncols: usize,
+    /// Number of block rows, `ceil(nrows / b)`.
+    block_rows: usize,
+    /// Number of block columns, `ceil(ncols / b)`.
+    block_cols: usize,
+    /// Block-row pointer (`block_rows + 1` entries, counting blocks).
+    indptr: Vec<usize>,
+    /// Block-column indices, block row by block row, sorted within each.
+    indices: Vec<u32>,
+    /// Block values, `b²` per block, row-major within the block.
+    data: Vec<S>,
+}
+
+impl<S: Scalar> BcsrMatrix<S> {
+    /// Tiles `a` into `b × b` blocks (`b` = 2 or 4), padding partially
+    /// filled blocks with explicit zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not 2 or 4.
+    pub fn from_csr(a: &CsrMatrix<S>, b: usize) -> Self {
+        assert!(b == 2 || b == 4, "block size must be 2 or 4, got {b}");
+        let (nrows, ncols) = (a.nrows(), a.ncols());
+        let block_rows = nrows.div_ceil(b);
+        let block_cols = ncols.div_ceil(b);
+        let bb = b * b;
+        let mut indptr = Vec::with_capacity(block_rows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut data: Vec<S> = Vec::new();
+        // Per-block-row scratch: which block columns appear (stamped by
+        // block row so the arrays are cleared in O(blocks), not O(n)),
+        // and where each one's tile starts in `data`.
+        let mut stamp = vec![usize::MAX; block_cols];
+        let mut tile_of = vec![0usize; block_cols];
+        let mut bcs: Vec<u32> = Vec::new();
+        for ib in 0..block_rows {
+            let r0 = ib * b;
+            let r_end = (r0 + b).min(nrows);
+            bcs.clear();
+            for i in r0..r_end {
+                let (cols, _) = a.row(i);
+                for &c in cols {
+                    let bc = c as usize / b;
+                    if stamp[bc] != ib {
+                        stamp[bc] = ib;
+                        bcs.push(bc as u32);
+                    }
+                }
+            }
+            bcs.sort_unstable();
+            let first_block = indices.len();
+            for (k, &bc) in bcs.iter().enumerate() {
+                tile_of[bc as usize] = first_block + k;
+            }
+            indices.extend_from_slice(&bcs);
+            data.resize(indices.len() * bb, S::ZERO);
+            for i in r0..r_end {
+                let (cols, vals) = a.row(i);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let bc = c as usize / b;
+                    let base = tile_of[bc] * bb;
+                    data[base + (i - r0) * b + (c as usize - bc * b)] = v;
+                }
+            }
+            indptr.push(indices.len());
+        }
+        BcsrMatrix {
+            b,
+            nrows,
+            ncols,
+            block_rows,
+            block_cols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Block edge length (2 or 4).
+    pub fn block_size(&self) -> usize {
+        self.b
+    }
+
+    /// Number of rows (logical, not padded).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (logical, not padded).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of block rows.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Number of stored blocks.
+    pub fn block_count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Number of stored **scalars** — block count × block area, padding
+    /// zeros included. This is the figure the parallel crossover and span
+    /// balancing account in, because it is what the kernel actually
+    /// streams.
+    pub fn scalar_nnz(&self) -> usize {
+        self.block_count() * self.b * self.b
+    }
+
+    /// Block-row pointer (`block_rows + 1` entries, counting blocks).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Block-column indices, block row by block row.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Block values, `b²` per block, row-major within each block.
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Approximate heap memory held by the matrix, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.data.len() * S::BYTES
+    }
+
+    /// Converts back to CSR, dropping exact zeros — blocked storage
+    /// cannot distinguish padding zeros from stored ones, so a matrix
+    /// with *explicit* zero entries does not round-trip (none of the
+    /// workspace's assembly paths produce such entries).
+    pub fn to_csr(&self) -> CsrMatrix<S> {
+        let b = self.b;
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<S> = Vec::new();
+        indptr.push(0usize);
+        for ib in 0..self.block_rows {
+            let r0 = ib * b;
+            let r_end = (r0 + b).min(self.nrows);
+            for i in r0..r_end {
+                for blk in self.indptr[ib]..self.indptr[ib + 1] {
+                    let c0 = self.indices[blk] as usize * b;
+                    let base = blk * b * b + (i - r0) * b;
+                    for bc in 0..b.min(self.ncols - c0) {
+                        let v = self.data[base + bc];
+                        if v != S::ZERO {
+                            indices.push((c0 + bc) as u32);
+                            values.push(v);
+                        }
+                    }
+                }
+                indptr.push(indices.len());
+            }
+        }
+        CsrMatrix::from_raw_parts(self.nrows, self.ncols, indptr, indices, values)
+    }
+
+    /// Dense matrix-vector product `y = A·x` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn mul_vec(&self, x: &[S]) -> Vec<S> {
+        let mut y = vec![S::ZERO; self.nrows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product into a caller-provided buffer: `y = A·x`,
+    /// streaming `b` output rows per block row with register-resident
+    /// accumulators. Bit-for-bit identical to [`CsrMatrix::mul_vec_into`]
+    /// for finite inputs (see the [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn mul_vec_into(&self, x: &[S], y: &mut [S]) {
+        assert_eq!(x.len(), self.ncols, "mul_vec: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "mul_vec: y length mismatch");
+        match self.b {
+            2 => self.mul_rows::<2>(x, y, 0, self.block_rows),
+            4 => self.mul_rows::<4>(x, y, 0, self.block_rows),
+            _ => unreachable!("block size is validated at construction"),
+        }
+    }
+
+    /// The blocked kernel over block rows `[ib_lo, ib_hi)`, writing into
+    /// `y`, which starts at scalar row `ib_lo * B` (so `y` may be a
+    /// disjoint chunk handed out by the pool). Monomorphized per block
+    /// size so the `B × B` tile loops unroll.
+    fn mul_rows<const B: usize>(&self, x: &[S], y: &mut [S], ib_lo: usize, ib_hi: usize) {
+        let y_base = ib_lo * B;
+        for ib in ib_lo..ib_hi {
+            let r0 = ib * B;
+            let r_end = (r0 + B).min(self.nrows);
+            let mut acc = [S::ZERO; B];
+            for blk in self.indptr[ib]..self.indptr[ib + 1] {
+                let c0 = self.indices[blk] as usize * B;
+                let base = blk * B * B;
+                if c0 + B <= self.ncols {
+                    let xt: &[S] = &x[c0..c0 + B];
+                    for (br, a) in acc.iter_mut().enumerate() {
+                        let tile = &self.data[base + br * B..base + br * B + B];
+                        for bc in 0..B {
+                            *a += tile[bc] * xt[bc];
+                        }
+                    }
+                } else {
+                    // Ragged last block column: only the in-range columns
+                    // exist; their padded partners hold structural zeros
+                    // for *every* row, so skipping them is exact.
+                    let width = self.ncols - c0;
+                    for (br, a) in acc.iter_mut().enumerate() {
+                        let tile = &self.data[base + br * B..base + br * B + width];
+                        for bc in 0..width {
+                            *a += tile[bc] * x[c0 + bc];
+                        }
+                    }
+                }
+            }
+            for (k, i) in (r0..r_end).enumerate() {
+                y[i - y_base] = acc[k];
+            }
+        }
+    }
+
+    /// Matrix-vector product through the threaded fast path: block rows
+    /// are dispatched over the worker pool in spans balanced by stored
+    /// work ([`pool::balanced_spans`] over the block-count prefix —
+    /// proportional to scalar nnz for the fixed block area), falling back
+    /// to the serial kernel below the size crossover. Bit-for-bit
+    /// identical to [`BcsrMatrix::mul_vec_into`] at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    #[cfg(feature = "parallel")]
+    pub fn par_mul_vec_into(&self, x: &[S], y: &mut [S]) {
+        assert_eq!(x.len(), self.ncols, "mul_vec: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "mul_vec: y length mismatch");
+        // The crossover accounts stored scalars, not blocks: a 4×4-blocked
+        // matrix holds 16× more work per index entry than its block count
+        // suggests.
+        let workers = crate::parallel::worker_count(self.nrows, self.scalar_nnz());
+        if workers <= 1 {
+            self.mul_vec_into(x, y);
+            return;
+        }
+        let spans = pool::balanced_spans(&self.indptr, workers);
+        // Convert block-row spans to scalar row spans of `y`; only the
+        // last one can be ragged.
+        let y_spans: Vec<pool::Span> = spans
+            .iter()
+            .map(|&(lo, hi)| (lo * self.b, (hi * self.b).min(self.nrows)))
+            .collect();
+        pool::Pool::global().parallel_for_disjoint_mut(y, &y_spans, |s, chunk| {
+            let (lo, hi) = spans[s];
+            match self.b {
+                2 => self.mul_rows::<2>(x, chunk, lo, hi),
+                4 => self.mul_rows::<4>(x, chunk, lo, hi),
+                _ => unreachable!("block size is validated at construction"),
+            }
+        });
+    }
+
+    /// Allocating form of [`BcsrMatrix::par_mul_vec_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    #[cfg(feature = "parallel")]
+    pub fn par_mul_vec(&self, x: &[S]) -> Vec<S> {
+        let mut y = vec![S::ZERO; self.nrows];
+        self.par_mul_vec_into(x, &mut y);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    /// Serializes the tests that override the global pool's lane count so
+    /// they cannot race each other's `set_threads(0)` restore.
+    #[cfg(feature = "parallel")]
+    fn pool_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn scatter_matrix(n: usize, m: usize, per_row: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, m);
+        for i in 0..n {
+            for k in 0..per_row {
+                let j = (i * 31 + k * 97 + 13) % m;
+                coo.push(i, j, ((i * 7 + k * 3) % 11) as f64 * 0.25 - 1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn products_match_csr_for_both_block_sizes_and_ragged_shapes() {
+        for (n, m) in [(16usize, 16usize), (17, 15), (30, 31), (5, 9)] {
+            let a = scatter_matrix(n, m, 4);
+            let x: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin()).collect();
+            let want = a.mul_vec(&x);
+            for b in [2usize, 4] {
+                let blocked = BcsrMatrix::from_csr(&a, b);
+                assert_eq!(blocked.mul_vec(&x), want, "n={n} m={m} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_drops_only_padding() {
+        let a = scatter_matrix(23, 23, 3);
+        for b in [2usize, 4] {
+            let blocked = BcsrMatrix::from_csr(&a, b);
+            let back = blocked.to_csr();
+            // The original has no explicit zeros, so the round trip is
+            // exact (padding zeros are dropped on the way back).
+            let nonzero_nnz = a.data().iter().filter(|&&v| v != 0.0).count();
+            assert_eq!(back.nnz(), nonzero_nnz, "b={b}");
+            for i in 0..a.nrows() {
+                for j in 0..a.ncols() {
+                    assert_eq!(back.get(i, j), a.get(i, j), "b={b} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_is_counted_in_scalar_nnz() {
+        // A diagonal matrix blocks into one diagonal entry per 2×2 tile.
+        let mut coo = CooMatrix::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, 1.0 + i as f64);
+        }
+        let blocked = BcsrMatrix::from_csr(&coo.to_csr(), 2);
+        assert_eq!(blocked.block_count(), 3);
+        assert_eq!(blocked.scalar_nnz(), 12); // 3 blocks × 4, half padding
+        assert!(blocked.memory_bytes() > 0);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn forced_parallel_matches_serial_bit_for_bit() {
+        let _guard = pool_guard();
+        let a = scatter_matrix(257, 257, 5);
+        let x: Vec<f64> = (0..257).map(|i| (i as f64 * 0.11).cos()).collect();
+        for b in [2usize, 4] {
+            let blocked = BcsrMatrix::from_csr(&a, b);
+            let want = blocked.mul_vec(&x);
+            for workers in [2usize, 3, 8] {
+                pool::set_threads(workers);
+                let got = blocked.par_mul_vec(&x);
+                pool::set_threads(0);
+                assert_eq!(got, want, "b={b} workers={workers}");
+            }
+        }
+    }
+
+    /// Hub regression: one block row with most of the blocks must not
+    /// drag a block-row-count share of the tail onto its lane.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn hub_spans_balance_by_scalar_nnz() {
+        let _guard = pool_guard();
+        let n = 512;
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..n {
+            coo.push(0, j, 1.0 + (j % 5) as f64);
+        }
+        for i in 1..n {
+            coo.push(i, i, 2.0);
+        }
+        let blocked = BcsrMatrix::from_csr(&coo.to_csr(), 4);
+        let spans = pool::balanced_spans(&blocked.indptr, 4);
+        assert!(spans.len() > 1, "hub work must not collapse onto one lane");
+        assert_eq!(
+            spans[0],
+            (0, 1),
+            "the hub block row carries most of the scalar nnz and sits alone"
+        );
+        // And the parallel product over those spans stays exact.
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.03).sin()).collect();
+        pool::set_threads(4);
+        let got = blocked.par_mul_vec(&x);
+        pool::set_threads(0);
+        assert_eq!(got, blocked.mul_vec(&x));
+    }
+
+    #[test]
+    fn empty_and_tiny_matrices() {
+        let empty = BcsrMatrix::from_csr(&CooMatrix::new(0, 0).to_csr(), 2);
+        assert_eq!(empty.block_count(), 0);
+        assert!(empty.mul_vec(&[]).is_empty());
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 3.5);
+        let one = BcsrMatrix::from_csr(&coo.to_csr(), 4);
+        assert_eq!(one.mul_vec(&[2.0]), vec![7.0]);
+        assert_eq!(one.to_csr().get(0, 0), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be 2 or 4")]
+    fn rejects_odd_block_sizes() {
+        let _ = BcsrMatrix::<f64>::from_csr(&CooMatrix::new(4, 4).to_csr(), 3);
+    }
+}

@@ -1,0 +1,290 @@
+//! Compressed sparse **column** storage — the column-access backend.
+//!
+//! CSC is the layout factor-update and column-scaling code wants: all of
+//! column `j` is one contiguous slice, where CSR would scatter it across
+//! every row. The trade is the matrix-vector product: a pure CSC product
+//! is a column *scatter* (`y += A[:, j] · x[j]`), which parallelizes
+//! badly because every column writes the whole output vector.
+//!
+//! [`CscMatrix`] resolves that with the same transpose-mirror trick the
+//! LDLᵀ factor uses for its backward sweeps: next to the column-major
+//! arrays it keeps a row-major mirror (built by the
+//! [`CsrMatrix::transpose`] counting sort, values duplicated), so
+//! the threaded product is the ordinary row-gather kernel over the
+//! mirror — bit-for-bit identical to [`CsrMatrix::par_mul_vec_into`] at
+//! every worker count. The serial column scatter is *also* bit-identical
+//! to the CSR row gather: both accumulate each `y[i]` over the same
+//! contributions in the same ascending-column order, starting from zero.
+//!
+//! The mirror doubles value/index memory ([`CscMatrix::memory_bytes`]
+//! reports the total); pick CSC when column access is the workload, not
+//! to save bytes.
+
+// Sparse kernels index multiple parallel arrays; explicit loops are clearer.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{CsrMatrix, Scalar};
+
+/// Compressed sparse column matrix with a row-major transpose mirror (see
+/// the [module docs](self) for the layout rationale).
+///
+/// # Example
+///
+/// ```
+/// use sass_sparse::{CooMatrix, CscMatrix};
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 1.0);
+/// coo.push_sym(0, 1, -1.0);
+/// coo.push(1, 1, 1.0);
+/// let a: CscMatrix = CscMatrix::from_csr(&coo.to_csr());
+/// let (rows, vals) = a.col(0);
+/// assert_eq!(rows, &[0, 1]);
+/// assert_eq!(vals, &[1.0, -1.0]);
+/// assert_eq!(a.mul_vec(&[1.0, -1.0]), vec![2.0, -2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<S: Scalar = f64> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<u32>,
+    data: Vec<S>,
+    /// Row-major duplicate of the matrix (the transpose mirror): feeds
+    /// [`CscMatrix::to_csr`] for free and gives the threaded product a
+    /// row-gather layout with disjoint output spans.
+    mirror: CsrMatrix<S>,
+}
+
+impl<S: Scalar> CscMatrix<S> {
+    /// Builds the CSC form of `a` (same scalar), deriving the column-major
+    /// arrays with the transpose counting sort: the CSR arrays of `Aᵀ`
+    /// *are* the CSC arrays of `A`. Rows within each column come out
+    /// sorted.
+    pub fn from_csr(a: &CsrMatrix<S>) -> Self {
+        Self::from_csr_owned(a.clone())
+    }
+
+    /// [`CscMatrix::from_csr`] taking the CSR matrix by value: `a` becomes
+    /// the row-major mirror directly, saving one `O(nnz)` copy — the
+    /// constructor [`crate::SparseBackend::from_csr_f64`] routes through,
+    /// since its scalar conversion already produced an owned temporary.
+    pub fn from_csr_owned(a: CsrMatrix<S>) -> Self {
+        let (_, _, colptr, rowidx, data) = a.transpose().into_raw_parts();
+        CscMatrix {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            colptr,
+            rowidx,
+            data,
+            mirror: a,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of explicitly stored entries (the mirror's duplicates not
+    /// counted — they are storage, not matrix content).
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Column pointer array (`ncols + 1` entries).
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row indices, column by column.
+    pub fn rowidx(&self) -> &[u32] {
+        &self.rowidx
+    }
+
+    /// Stored values, column by column.
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+
+    /// The `(rows, values)` pair for column `j` — the contiguous column
+    /// access CSC exists for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    pub fn col(&self, j: usize) -> (&[u32], &[S]) {
+        let lo = self.colptr[j];
+        let hi = self.colptr[j + 1];
+        (&self.rowidx[lo..hi], &self.data[lo..hi])
+    }
+
+    /// Value at `(i, j)`, zero when not stored. Runs in
+    /// `O(log nnz(col j))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    pub fn get(&self, i: usize, j: usize) -> S {
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&(i as u32)) {
+            Ok(p) => vals[p],
+            Err(_) => S::ZERO,
+        }
+    }
+
+    /// Approximate heap memory held by the matrix (mirror included), in
+    /// bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.colptr.len() * std::mem::size_of::<usize>()
+            + self.rowidx.len() * std::mem::size_of::<u32>()
+            + self.data.len() * S::BYTES
+            + self.mirror.memory_bytes()
+    }
+
+    /// The row-major form of the matrix (a clone of the mirror).
+    pub fn to_csr(&self) -> CsrMatrix<S> {
+        self.mirror.clone()
+    }
+
+    /// Dense matrix-vector product `y = A·x` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn mul_vec(&self, x: &[S]) -> Vec<S> {
+        let mut y = vec![S::ZERO; self.nrows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product into a caller-provided buffer: `y = A·x`,
+    /// as a column scatter over the column-major arrays.
+    ///
+    /// Bit-for-bit identical to [`CsrMatrix::mul_vec_into`] on the same
+    /// matrix: each `y[i]` accumulates the same products in the same
+    /// ascending-column order, starting from zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn mul_vec_into(&self, x: &[S], y: &mut [S]) {
+        assert_eq!(x.len(), self.ncols, "mul_vec: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "mul_vec: y length mismatch");
+        for yi in y.iter_mut() {
+            *yi = S::ZERO;
+        }
+        for j in 0..self.ncols {
+            let xj = x[j];
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                y[self.rowidx[p] as usize] += self.data[p] * xj;
+            }
+        }
+    }
+
+    /// Matrix-vector product through the threaded row-gather fast path
+    /// over the transpose mirror — bit-for-bit identical to the serial
+    /// scatter (and to the CSR kernels) at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    #[cfg(feature = "parallel")]
+    pub fn par_mul_vec_into(&self, x: &[S], y: &mut [S]) {
+        self.mirror.par_mul_vec_into(x, y);
+    }
+
+    /// Allocating form of [`CscMatrix::par_mul_vec_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    #[cfg(feature = "parallel")]
+    pub fn par_mul_vec(&self, x: &[S]) -> Vec<S> {
+        let mut y = vec![S::ZERO; self.nrows];
+        self.par_mul_vec_into(x, &mut y);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn laplacian_path3() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 2.0);
+        coo.push(2, 2, 1.0);
+        coo.push_sym(0, 1, -1.0);
+        coo.push_sym(1, 2, -1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let a = laplacian_path3();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.to_csr(), a);
+        assert_eq!(c.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn columns_are_contiguous_and_sorted() {
+        let mut coo = CooMatrix::new(3, 2);
+        coo.push(2, 0, 5.0);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, -2.0);
+        let c = CscMatrix::from_csr(&coo.to_csr());
+        let (rows, vals) = c.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 5.0]);
+        assert_eq!(c.get(1, 1), -2.0);
+        assert_eq!(c.get(2, 1), 0.0);
+    }
+
+    #[test]
+    fn scatter_product_matches_csr_gather_exactly() {
+        let a = laplacian_path3();
+        let c = CscMatrix::from_csr(&a);
+        let x = [0.25, -1.5, 3.0];
+        assert_eq!(c.mul_vec(&x), a.mul_vec(&x));
+    }
+
+    #[test]
+    fn rectangular_product() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 2, 5.0);
+        coo.push(1, 0, 3.0);
+        let a = coo.to_csr();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c.ncols(), 3);
+        assert_eq!(
+            c.mul_vec(&[1.0, 10.0, 100.0]),
+            a.mul_vec(&[1.0, 10.0, 100.0])
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn par_product_matches_serial() {
+        let a = laplacian_path3();
+        let c = CscMatrix::from_csr(&a);
+        let x = [1.0, 2.0, -3.0];
+        assert_eq!(c.par_mul_vec(&x), c.mul_vec(&x));
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let c = CscMatrix::from_csr(&CooMatrix::new(0, 0).to_csr());
+        assert_eq!(c.nnz(), 0);
+        assert!(c.mul_vec(&[]).is_empty());
+    }
+}

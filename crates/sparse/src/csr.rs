@@ -1,14 +1,20 @@
 // Sparse kernels index multiple parallel arrays; explicit loops are clearer.
 #![allow(clippy::needless_range_loop)]
 
-use crate::{dense, CooMatrix, Permutation, Result, SparseError};
+use crate::{dense, CooMatrix, Permutation, Result, Scalar, SparseError};
 
-/// Compressed sparse row matrix with `f64` values and `u32` column indices.
+/// Compressed sparse row matrix with [`Scalar`] values (`f64` unless
+/// named otherwise) and `u32` column indices.
 ///
-/// This is the workhorse format of the workspace: graph Laplacians, adjacency
-/// matrices and preconditioner operators are all stored as `CsrMatrix`.
-/// Symmetric matrices store both triangles (full storage), which keeps
-/// `y = A·x` a single forward sweep.
+/// This is the workhorse format of the workspace: graph Laplacians,
+/// adjacency matrices and preconditioner operators are all stored as
+/// `CsrMatrix`. Symmetric matrices store both triangles (full storage),
+/// which keeps `y = A·x` a single forward sweep. The scalar parameter
+/// defaults to `f64`, so `CsrMatrix` written anywhere in the workspace
+/// still names the full-precision matrix; `CsrMatrix<f32>` (behind the
+/// `storage-f32` feature) halves value storage for ranking-precision
+/// workloads — see the [`crate::backend`] module for when that trade
+/// makes sense.
 ///
 /// # Example
 ///
@@ -24,15 +30,15 @@ use crate::{dense, CooMatrix, Permutation, Result, SparseError};
 /// assert_eq!(y, vec![2.0, -2.0]);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct CsrMatrix {
+pub struct CsrMatrix<S: Scalar = f64> {
     nrows: usize,
     ncols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl CsrMatrix {
+impl<S: Scalar> CsrMatrix<S> {
     /// Builds a CSR matrix from raw parts.
     ///
     /// # Panics
@@ -47,7 +53,7 @@ impl CsrMatrix {
         ncols: usize,
         indptr: Vec<usize>,
         indices: Vec<u32>,
-        data: Vec<f64>,
+        data: Vec<S>,
     ) -> Self {
         assert_eq!(indptr.len(), nrows + 1, "indptr length must be nrows + 1");
         assert_eq!(indices.len(), data.len(), "indices/data length mismatch");
@@ -73,15 +79,11 @@ impl CsrMatrix {
         }
     }
 
-    /// The `n × n` identity matrix.
-    pub fn identity(n: usize) -> Self {
-        CsrMatrix {
-            nrows: n,
-            ncols: n,
-            indptr: (0..=n).collect(),
-            indices: (0..n as u32).collect(),
-            data: vec![1.0; n],
-        }
+    /// Disassembles the matrix into `(nrows, ncols, indptr, indices, data)`
+    /// — the inverse of [`CsrMatrix::from_raw_parts`], used by the other
+    /// storage backends to steal CSR arrays without copying.
+    pub fn into_raw_parts(self) -> (usize, usize, Vec<usize>, Vec<u32>, Vec<S>) {
+        (self.nrows, self.ncols, self.indptr, self.indices, self.data)
     }
 
     /// Number of rows.
@@ -110,13 +112,20 @@ impl CsrMatrix {
     }
 
     /// Stored values, row by row.
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable access to the stored values (pattern is immutable).
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [S] {
         &mut self.data
+    }
+
+    /// Approximate heap memory held by the matrix, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.data.len() * S::BYTES
     }
 
     /// The `(columns, values)` pair for row `i`.
@@ -124,13 +133,13 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `i >= nrows`.
-    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+    pub fn row(&self, i: usize) -> (&[u32], &[S]) {
         let lo = self.indptr[i];
         let hi = self.indptr[i + 1];
         (&self.indices[lo..hi], &self.data[lo..hi])
     }
 
-    /// Value at `(i, j)`, `0.0` when not stored.
+    /// Value at `(i, j)`, zero when not stored.
     ///
     /// Requires rows to be column-sorted (all constructors here guarantee
     /// that). Runs in `O(log nnz(row i))`.
@@ -138,11 +147,11 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `i >= nrows`.
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         let (cols, vals) = self.row(i);
         match cols.binary_search(&(j as u32)) {
             Ok(p) => vals[p],
-            Err(_) => 0.0,
+            Err(_) => S::ZERO,
         }
     }
 
@@ -151,8 +160,8 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `x.len() != ncols`.
-    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.nrows];
+    pub fn mul_vec(&self, x: &[S]) -> Vec<S> {
+        let mut y = vec![S::ZERO; self.nrows];
         self.mul_vec_into(x, &mut y);
         y
     }
@@ -162,13 +171,13 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `x.len() != ncols` or `y.len() != nrows`.
-    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+    pub fn mul_vec_into(&self, x: &[S], y: &mut [S]) {
         assert_eq!(x.len(), self.ncols, "mul_vec: x length mismatch");
         assert_eq!(y.len(), self.nrows, "mul_vec: y length mismatch");
         for i in 0..self.nrows {
             let lo = self.indptr[i];
             let hi = self.indptr[i + 1];
-            let mut acc = 0.0;
+            let mut acc = S::ZERO;
             for p in lo..hi {
                 acc += self.data[p] * x[self.indices[p] as usize];
             }
@@ -189,7 +198,7 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != ncols` or `y.len() != nrows`.
     #[cfg(feature = "parallel")]
-    pub fn par_mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+    pub fn par_mul_vec_into(&self, x: &[S], y: &mut [S]) {
         crate::parallel::par_spmv(self, x, y);
     }
 
@@ -199,10 +208,82 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != ncols`.
     #[cfg(feature = "parallel")]
-    pub fn par_mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.nrows];
+    pub fn par_mul_vec(&self, x: &[S]) -> Vec<S> {
+        let mut y = vec![S::ZERO; self.nrows];
         self.par_mul_vec_into(x, &mut y);
         y
+    }
+
+    /// The transpose `Aᵀ` as a new CSR matrix (rows come out column-sorted).
+    ///
+    /// This counting-sort pass is the crate's transpose-mirror machinery:
+    /// [`crate::CscMatrix`] uses it verbatim (the CSR arrays of `Aᵀ` *are*
+    /// the CSC arrays of `A`), and the LDLᵀ factor derives its backward-
+    /// sweep mirror the same way.
+    pub fn transpose(&self) -> CsrMatrix<S> {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut data = vec![S::ZERO; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.nrows {
+            for p in self.indptr[i]..self.indptr[i + 1] {
+                let c = self.indices[p] as usize;
+                let q = next[c];
+                indices[q] = i as u32;
+                data[q] = self.data[p];
+                next[c] += 1;
+            }
+        }
+        CsrMatrix::from_raw_parts(self.ncols, self.nrows, indptr, indices, data)
+    }
+
+    /// Converts the stored values to another scalar width, keeping the
+    /// pattern byte-identical. `f64 → f64` and `f32 → f64` are exact;
+    /// `f64 → f32` rounds each value to nearest once (the crate's single
+    /// lossy conversion point — see [`Scalar::from_f64`]).
+    pub fn to_scalar<T: Scalar>(&self) -> CsrMatrix<T> {
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            data: self.data.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+        }
+    }
+
+    /// Dense representation, for tests and tiny matrices only.
+    pub fn to_dense(&self) -> Vec<Vec<S>> {
+        let mut out = vec![vec![S::ZERO; self.ncols]; self.nrows];
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                out[i][*c as usize] = *v;
+            }
+        }
+        out
+    }
+}
+
+/// Full-precision (`f64`) conveniences: everything that interacts with the
+/// assembly ([`CooMatrix`]), the dense helpers, or the factorization stack
+/// — all of which compute in `f64` on purpose.
+impl CsrMatrix {
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            data: vec![1.0; n],
+        }
     }
 
     /// Quadratic form `xᵀ A x`.
@@ -233,31 +314,6 @@ impl CsrMatrix {
         } else {
             dense::norm2(&r)
         }
-    }
-
-    /// The transpose `Aᵀ` as a new CSR matrix (rows come out column-sorted).
-    pub fn transpose(&self) -> CsrMatrix {
-        let mut counts = vec![0usize; self.ncols + 1];
-        for &c in &self.indices {
-            counts[c as usize + 1] += 1;
-        }
-        for i in 0..self.ncols {
-            counts[i + 1] += counts[i];
-        }
-        let indptr = counts.clone();
-        let mut indices = vec![0u32; self.nnz()];
-        let mut data = vec![0.0; self.nnz()];
-        let mut next = counts;
-        for i in 0..self.nrows {
-            for p in self.indptr[i]..self.indptr[i + 1] {
-                let c = self.indices[p] as usize;
-                let q = next[c];
-                indices[q] = i as u32;
-                data[q] = self.data[p];
-                next[c] += 1;
-            }
-        }
-        CsrMatrix::from_raw_parts(self.ncols, self.nrows, indptr, indices, data)
     }
 
     /// Checks structural and numerical symmetry to tolerance `tol`
@@ -377,18 +433,6 @@ impl CsrMatrix {
             }
         }
         coo
-    }
-
-    /// Dense representation, for tests and tiny matrices only.
-    pub fn to_dense(&self) -> Vec<Vec<f64>> {
-        let mut out = vec![vec![0.0; self.ncols]; self.nrows];
-        for i in 0..self.nrows {
-            let (cols, vals) = self.row(i);
-            for (c, v) in cols.iter().zip(vals) {
-                out[i][*c as usize] = *v;
-            }
-        }
-        out
     }
 
     /// Frobenius norm of `A − B`; both patterns may differ.
@@ -535,6 +579,35 @@ mod tests {
         let a = laplacian_path3();
         let b = a.to_coo().to_csr();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let a = laplacian_path3();
+        let (nr, nc, ip, ix, d) = a.clone().into_raw_parts();
+        let b = CsrMatrix::from_raw_parts(nr, nc, ip, ix, d);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn to_scalar_identity_is_exact() {
+        let a = laplacian_path3();
+        let b: CsrMatrix<f64> = a.to_scalar();
+        assert_eq!(a, b);
+    }
+
+    #[cfg(feature = "storage-f32")]
+    #[test]
+    fn to_scalar_f32_keeps_pattern_and_rounds_values() {
+        let a = laplacian_path3();
+        let b: CsrMatrix<f32> = a.to_scalar();
+        assert_eq!(a.indptr(), b.indptr());
+        assert_eq!(a.indices(), b.indices());
+        for (wide, narrow) in a.data().iter().zip(b.data()) {
+            assert_eq!(*narrow as f64, *wide); // these values are exact in f32
+        }
+        let back: CsrMatrix<f64> = b.to_scalar();
+        assert_eq!(a, back, "f32 -> f64 widening is exact");
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! - [`CsrMatrix`]: compressed sparse row storage with matrix-vector kernels
 //!   (threaded above a size crossover when the default `parallel` feature is
 //!   on — see [`CsrMatrix::par_mul_vec_into`]),
+//! - [`backend`]: the [`SparseBackend`] abstraction over storage layouts —
+//!   [`CsrMatrix`] (row-major), [`CscMatrix`] (column-major with a
+//!   transpose mirror), [`BcsrMatrix`] (register-blocked rows) — each
+//!   generic over the sealed [`Scalar`] trait (`f64` default, `f32` behind
+//!   the `storage-f32` feature), with bit-identical `f64` products across
+//!   layouts and worker counts,
 //! - [`pool`]: the persistent worker pool every parallel kernel in the
 //!   workspace dispatches through — parked OS threads woken per dispatch
 //!   (no per-call spawn), with deterministic span-ordered reduction and a
@@ -52,8 +58,11 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
+mod bcsr;
 mod block;
 mod coo;
+mod csc;
 mod csr;
 mod error;
 mod ldl;
@@ -61,6 +70,7 @@ mod operator;
 #[cfg(feature = "parallel")]
 mod parallel;
 mod perm;
+mod scalar;
 
 pub mod dense;
 pub mod etree;
@@ -68,13 +78,17 @@ pub mod mmio;
 pub mod ordering;
 pub mod pool;
 
+pub use backend::SparseBackend;
+pub use bcsr::BcsrMatrix;
 pub use block::DenseBlock;
 pub use coo::CooMatrix;
+pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use ldl::{LdlFactor, LDL_BLOCK_WIDTH};
 pub use operator::LinearOperator;
 pub use perm::Permutation;
+pub use scalar::Scalar;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SparseError>;

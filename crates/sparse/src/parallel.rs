@@ -20,18 +20,23 @@
 //! override skips the crossover entirely (forcing or denying the threaded
 //! path), which is how single-core CI exercises real fan-out.
 
-use crate::{pool, CsrMatrix};
+use crate::{pool, CsrMatrix, Scalar};
 
 /// Below this many rows the serial kernel wins under automatic sizing.
-const MIN_PAR_ROWS: usize = 1_024;
+pub(crate) const MIN_PAR_ROWS: usize = 1_024;
 /// Below this many stored entries the serial kernel wins.
-const MIN_PAR_NNZ: usize = 10_000;
+pub(crate) const MIN_PAR_NNZ: usize = 10_000;
 /// Stored entries per pool lane; caps lane count for matrices barely
 /// above the crossover.
-const NNZ_PER_WORKER: usize = 4_096;
+pub(crate) const NNZ_PER_WORKER: usize = 4_096;
 
 /// Number of lanes to use for a matrix, `1` meaning "stay serial".
-fn worker_count(nrows: usize, nnz: usize) -> usize {
+///
+/// `nnz` is the number of **stored scalars** — for blocked storage the
+/// caller passes block count × block area, not block count, so the
+/// crossover keeps measuring real memory traffic (see
+/// [`crate::BcsrMatrix`]).
+pub(crate) fn worker_count(nrows: usize, nnz: usize) -> usize {
     let p = pool::Pool::global();
     if nrows < MIN_PAR_ROWS && !p.is_forced() {
         return 1;
@@ -39,7 +44,7 @@ fn worker_count(nrows: usize, nnz: usize) -> usize {
     p.workers_for(nnz, MIN_PAR_NNZ, NNZ_PER_WORKER).min(nrows)
 }
 
-pub(crate) fn par_spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+pub(crate) fn par_spmv<S: Scalar>(a: &CsrMatrix<S>, x: &[S], y: &mut [S]) {
     let workers = worker_count(a.nrows(), a.nnz());
     par_spmv_on(pool::Pool::global(), a, x, y, workers);
 }
@@ -48,7 +53,7 @@ pub(crate) fn par_spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
 /// in a `Pool::with_threads(workers)` instance so multi-worker execution
 /// is pinned with *real* thread fan-out even where the global pool sizes
 /// to one lane (single-core CI).
-fn par_spmv_on(p: &pool::Pool, a: &CsrMatrix, x: &[f64], y: &mut [f64], workers: usize) {
+fn par_spmv_on<S: Scalar>(p: &pool::Pool, a: &CsrMatrix<S>, x: &[S], y: &mut [S], workers: usize) {
     assert_eq!(x.len(), a.ncols(), "mul_vec: x length mismatch");
     assert_eq!(y.len(), a.nrows(), "mul_vec: y length mismatch");
     if workers <= 1 {
@@ -62,7 +67,7 @@ fn par_spmv_on(p: &pool::Pool, a: &CsrMatrix, x: &[f64], y: &mut [f64], workers:
     p.parallel_for_disjoint_mut(y, &spans, |s, chunk| {
         let (lo, hi) = spans[s];
         for i in lo..hi {
-            let mut acc = 0.0;
+            let mut acc = S::ZERO;
             for p in indptr[i]..indptr[i + 1] {
                 acc += data[p] * x[indices[p] as usize];
             }

@@ -1,0 +1,174 @@
+//! The sealed [`Scalar`] trait — the storage element type every sparse
+//! backend is generic over.
+//!
+//! The workspace computes in `f64`: graph assembly, LDLᵀ factorization,
+//! PCG and every eigensolver keep full precision. What the paper's
+//! pipeline *also* needs is cheap storage for the kernels that only rank
+//! (the off-tree heat filter scores edges by relative Joule heat, so
+//! ranking precision is enough) — that is the `f32` storage mode, gated
+//! behind the `storage-f32` feature. [`Scalar`] is the smallest surface
+//! the matrix kernels need from their element type: ring ops, a couple of
+//! float helpers, and exact conversion through `f64`.
+//!
+//! The trait is **sealed**: exactly `f64` (always) and `f32` (with the
+//! `storage-f32` feature) implement it. Kernels may therefore rely on IEEE
+//! semantics — e.g. that `x + S::ZERO * y` cannot change a finite `x` —
+//! without defending against exotic element types.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+mod sealed {
+    /// Prevents downstream `Scalar` impls (see the module docs).
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    #[cfg(feature = "storage-f32")]
+    impl Sealed for f32 {}
+}
+
+/// Element type of a sparse matrix backend: `f64` (the default everywhere)
+/// or `f32` (behind the `storage-f32` feature).
+///
+/// Conversions go through `f64`: [`Scalar::from_f64`] is the *only* lossy
+/// step in the workspace (`f64 → f32` rounds to nearest), and
+/// [`Scalar::to_f64`] is always exact, so `f32` backends interoperate with
+/// the `f64` pipeline at a single, auditable rounding point.
+pub trait Scalar:
+    sealed::Sealed
+    + Copy
+    + Default
+    + Debug
+    + Display
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Short lowercase type name (`"f64"` / `"f32"`) for bench labels and
+    /// diagnostics.
+    const NAME: &'static str;
+    /// Size of one stored element in bytes.
+    const BYTES: usize = std::mem::size_of::<Self>();
+
+    /// Rounds an `f64` into this scalar (exact for `f64`, round-to-nearest
+    /// for `f32`) — the single lossy conversion point of the crate.
+    fn from_f64(v: f64) -> Self;
+
+    /// Widens to `f64`, always exactly.
+    fn to_f64(self) -> f64;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+
+    /// Whether the value is neither infinite nor NaN.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "f64";
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(feature = "storage-f32")]
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "f32";
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for v in [0.0, -1.5, 1e300, f64::MIN_POSITIVE] {
+            assert_eq!(f64::from_f64(v), v);
+            assert_eq!(v.to_f64(), v);
+        }
+        assert_eq!(f64::NAME, "f64");
+        assert_eq!(f64::BYTES, 8);
+    }
+
+    #[cfg(feature = "storage-f32")]
+    #[test]
+    fn f32_narrowing_rounds_widening_is_exact() {
+        // 1/3 is not representable in either width: narrowing rounds…
+        let narrowed = f32::from_f64(1.0 / 3.0);
+        assert!((narrowed.to_f64() - 1.0 / 3.0).abs() < 1e-7);
+        // …but widening any f32 back to f64 is exact.
+        for v in [0.1f32, -7.25, 3.0e30] {
+            assert_eq!(v.to_f64() as f32, v);
+        }
+        assert_eq!(f32::NAME, "f32");
+        assert_eq!(f32::BYTES, 4);
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-backend parity for the storage layer: CSR, CSC and BCSR must be
+//! interchangeable representations of the same matrix.
+//!
+//! Three properties over randomized symmetric matrices:
+//!
+//! 1. **Round-trips are exact** — CSR → CSC → CSR and CSR → BCSR → CSR
+//!    reproduce the original matrix including the pattern (the generator
+//!    keeps every stored value nonzero, so BCSR's padding-zero dropping
+//!    cannot bite).
+//! 2. **`f64` products are bit-for-bit identical** — serial and threaded,
+//!    across every backend and at forced worker counts 1/2/3/8 (the
+//!    standing `pool::set_threads` override skips the size crossovers, so
+//!    even small matrices go through real multi-lane dispatch).
+//! 3. **`f32` products track `f64`** to single-precision tolerance
+//!    (`storage-f32` feature): relative error bounded by `n · ε_f32`
+//!    against the accumulated absolute sum.
+
+use proptest::prelude::*;
+use sass_sparse::{pool, BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, SparseBackend};
+
+/// Serializes tests that override the global pool's lane count.
+fn pool_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Strategy: a random symmetric matrix of size `n in [1, 48]` whose
+/// stored values are all nonzero (magnitudes in `[0.1, 2)`, positive
+/// diagonal), so every storage round-trip must be pattern-exact.
+fn symmetric_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..48).prop_flat_map(|n| {
+        let entries = proptest::collection::vec((0usize..n, 0usize..n, 0.1f64..2.0), 0..(4 * n));
+        (Just(n), entries).prop_map(|(n, entries)| {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 1.0 + (i % 7) as f64);
+            }
+            for &(i, j, mag) in &entries {
+                if i != j {
+                    // Duplicate pushes at one position merge by summation,
+                    // so the sign is a function of the position (not of
+                    // the draw): contributions at one pair can never
+                    // cancel to an explicit stored zero.
+                    let (a, b) = (i.min(j), i.max(j));
+                    let v = if (a + b) % 2 == 0 { mag } else { -mag };
+                    coo.push_sym(a, b, v);
+                }
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// A deterministic probe vector with varied magnitudes.
+fn probe(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 37 + 11) % 101) as f64 * 0.04 - 2.0)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csc_round_trip_is_exact(a in symmetric_matrix()) {
+        let csc = CscMatrix::from_csr(&a);
+        prop_assert_eq!(csc.to_csr(), a);
+    }
+
+    #[test]
+    fn bcsr_round_trip_is_exact(a in symmetric_matrix()) {
+        for b in [2usize, 4] {
+            let blocked = BcsrMatrix::from_csr(&a, b);
+            prop_assert_eq!(blocked.to_csr(), a.clone(), "block size {}", b);
+        }
+    }
+
+    /// All f64 backends agree with the serial CSR gather bit-for-bit, for
+    /// both the serial and the threaded kernel, at forced worker counts
+    /// 1, 2, 3 and 8.
+    #[test]
+    fn f64_products_bit_identical_across_backends_and_worker_counts(a in symmetric_matrix()) {
+        let _guard = pool_guard();
+        let x = probe(a.ncols());
+        pool::set_threads(1);
+        let want = a.mul_vec(&x);
+
+        let csc = CscMatrix::from_csr(&a);
+        let bcsr2 = BcsrMatrix::from_csr(&a, 2);
+        let bcsr4 = BcsrMatrix::from_csr(&a, 4);
+        prop_assert_eq!(&csc.mul_vec(&x), &want, "csc serial");
+        prop_assert_eq!(&bcsr2.mul_vec(&x), &want, "bcsr2 serial");
+        prop_assert_eq!(&bcsr4.mul_vec(&x), &want, "bcsr4 serial");
+
+        let mut y = vec![0.0; a.nrows()];
+        for workers in [1usize, 2, 3, 8] {
+            pool::set_threads(workers);
+            a.par_mul_vec_into(&x, &mut y);
+            prop_assert_eq!(&y, &want, "csr par, workers {}", workers);
+            csc.par_mul_vec_into(&x, &mut y);
+            prop_assert_eq!(&y, &want, "csc par, workers {}", workers);
+            bcsr2.par_mul_vec_into(&x, &mut y);
+            prop_assert_eq!(&y, &want, "bcsr2 par, workers {}", workers);
+            bcsr4.par_mul_vec_into(&x, &mut y);
+            prop_assert_eq!(&y, &want, "bcsr4 par, workers {}", workers);
+        }
+        pool::set_threads(0);
+    }
+
+    /// The trait surface reports consistent shapes and sizes.
+    #[test]
+    fn backend_introspection_is_consistent(a in symmetric_matrix()) {
+        fn check<B: SparseBackend<Scalar = f64>>(a: &CsrMatrix) {
+            let b = B::from_csr_f64(a);
+            assert_eq!(b.nrows(), a.nrows(), "{}", B::NAME);
+            assert_eq!(b.ncols(), a.ncols(), "{}", B::NAME);
+            assert!(b.scalar_nnz() >= a.nnz(), "{}", B::NAME);
+            assert!(b.memory_bytes() >= b.scalar_nnz() * 8, "{}", B::NAME);
+        }
+        check::<CsrMatrix>(&a);
+        check::<CscMatrix>(&a);
+        check::<BcsrMatrix>(&a);
+    }
+}
+
+#[cfg(feature = "storage-f32")]
+mod f32_tolerance {
+    use super::*;
+    use sass_sparse::Scalar;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Single-precision storage must track the f64 result within a
+        /// per-row bound of `(nnz_row + 2) · ε_f32` against the row's
+        /// accumulated absolute magnitude — rounding once per stored
+        /// value plus once per accumulation step.
+        #[test]
+        fn f32_products_within_single_precision_of_f64(a in symmetric_matrix()) {
+            let x = probe(a.ncols());
+            let want = a.mul_vec(&x);
+            let xs: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+
+            fn check<B: SparseBackend<Scalar = f32>>(
+                a: &CsrMatrix,
+                xs: &[f32],
+                want: &[f64],
+            ) {
+                let b = B::from_csr_f64(a);
+                let got = b.mul_vec(xs);
+                for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                    let (cols, vals) = a.row(i);
+                    let scale: f64 = cols
+                        .iter()
+                        .zip(vals)
+                        .map(|(&c, &v)| (v * xs[c as usize].to_f64()).abs())
+                        .sum::<f64>()
+                        .max(1e-30);
+                    let eps = (vals.len() as f64 + 2.0) * f32::EPSILON as f64;
+                    assert!(
+                        (g.to_f64() - w).abs() <= eps * scale,
+                        "{} row {i}: {} vs {w} (scale {scale})",
+                        B::NAME,
+                        g
+                    );
+                }
+            }
+            check::<CsrMatrix<f32>>(&a, &xs, &want);
+            check::<CscMatrix<f32>>(&a, &xs, &want);
+            check::<BcsrMatrix<f32>>(&a, &xs, &want);
+        }
+    }
+}

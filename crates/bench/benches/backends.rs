@@ -14,8 +14,15 @@
 //!
 //! The `w2` rows force two pool lanes via `pool::set_threads(2)` —
 //! meaningful even on a single-core container as a dispatch-overhead
-//! bound, and a real speedup measurement on multi-core hardware. This
-//! bench records the `BENCH_BACKENDS.json` baseline; re-record with
+//! bound, and a real speedup measurement on multi-core hardware.
+//!
+//! Every backend row is emitted once per SIMD dispatch mode (the detected
+//! tier, e.g. `avx2`, and a forced-`scalar` row via
+//! [`sass_sparse::kernel::set_level`]), so the microkernel speedup is an
+//! in-process A/B on identical matrices; a `# simd:` provenance line
+//! (also appended to the JSON baseline) records the tier, compile-time
+//! target features and rustc the rows were measured under. This bench
+//! records the `BENCH_BACKENDS.json` baseline; re-record with
 //!
 //! ```text
 //! CRITERION_JSON=BENCH_BACKENDS.json cargo bench -p sass-bench \
@@ -23,9 +30,10 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_bench::{record_simd_provenance, simd_modes};
 use sass_graph::generators::{barabasi_albert, circuit_grid, fem_mesh2d};
 use sass_graph::Graph;
-use sass_sparse::{pool, BcsrMatrix, CscMatrix, CsrMatrix, Scalar, SparseBackend};
+use sass_sparse::{kernel, pool, BcsrMatrix, CscMatrix, CsrMatrix, Scalar, SparseBackend};
 
 fn workloads() -> Vec<(String, Graph)> {
     vec![
@@ -77,18 +85,23 @@ fn bench_scalar<S: Scalar>(group: &mut criterion::BenchmarkGroup<'_>, name: &str
         csr.nrows(),
         csr.nnz(),
         S::NAME,
-        bcsr2.scalar_nnz() as f64 / csr.nnz() as f64,
-        bcsr4.scalar_nnz() as f64 / csr.nnz() as f64,
+        bcsr2.padding_ratio(),
+        bcsr4.padding_ratio(),
         SparseBackend::memory_bytes(&csc) as f64 / csr.memory_bytes() as f64,
     );
     let scalar = S::NAME;
-    bench_backend(group, &format!("csr_{scalar}"), name, &csr);
-    bench_backend(group, &format!("csc_{scalar}"), name, &csc);
-    bench_backend(group, &format!("bcsr2_{scalar}"), name, &bcsr2);
-    bench_backend(group, &format!("bcsr4_{scalar}"), name, &bcsr4);
+    for (mode, level) in simd_modes() {
+        kernel::set_level(level);
+        bench_backend(group, &format!("csr_{scalar}_{mode}"), name, &csr);
+        bench_backend(group, &format!("csc_{scalar}_{mode}"), name, &csc);
+        bench_backend(group, &format!("bcsr2_{scalar}_{mode}"), name, &bcsr2);
+        bench_backend(group, &format!("bcsr4_{scalar}_{mode}"), name, &bcsr4);
+    }
+    kernel::set_level(None);
 }
 
 fn bench_backends(c: &mut Criterion) {
+    record_simd_provenance("backends");
     let mut group = c.benchmark_group("backends");
     group.sample_size(20);
     for (name, g) in workloads() {

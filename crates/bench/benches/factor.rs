@@ -16,7 +16,10 @@
 //! with a precomputed ordering), `solve` (single RHS,
 //! [`LdlFactor::solve_into_scratch`]) and `solve_block8` (one full
 //! 8-column chunk) — each at `serial` (`set_threads(1)`), `w2` and `w4`
-//! forced pool widths. The forced rows engage the level-parallel path
+//! forced pool widths, and each once per SIMD dispatch mode (the
+//! detected tier and forced `scalar`, suffixed onto the width label —
+//! the 8-wide interleaved sweeps are the rows the `kernel` module's LDLᵀ
+//! microkernels target). The forced rows engage the level-parallel path
 //! regardless of the crossovers; on a single-core host they measure pure
 //! dispatch overhead (the speedup needs real cores). Record the baseline
 //! with
@@ -26,10 +29,11 @@
 //! ```
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_bench::{record_simd_provenance, simd_modes};
 use sass_core::{sparsify, SparsifyConfig};
 use sass_graph::generators::{barabasi_albert, circuit_grid, grid2d, WeightModel};
 use sass_sparse::ordering::OrderingKind;
-use sass_sparse::{pool, CsrMatrix, DenseBlock, LdlFactor, LDL_BLOCK_WIDTH};
+use sass_sparse::{kernel, pool, CsrMatrix, DenseBlock, LdlFactor, LDL_BLOCK_WIDTH};
 
 /// Grounded (SPD) principal submatrix of a Laplacian, vertex 0 deleted.
 fn grounded(l: &CsrMatrix) -> CsrMatrix {
@@ -54,6 +58,7 @@ fn workloads() -> Vec<(String, CsrMatrix)> {
 }
 
 fn bench_factor(c: &mut Criterion) {
+    record_simd_provenance("factor");
     let mut group = c.benchmark_group("factor");
     group.sample_size(10);
     for (name, a) in workloads() {
@@ -83,43 +88,48 @@ fn bench_factor(c: &mut Criterion) {
         let mut x = vec![0.0; n];
         let mut xb = DenseBlock::zeros(n, LDL_BLOCK_WIDTH);
         let mut work = Vec::new();
-        for (label, width) in [("serial", 1usize), ("w2", 2), ("w4", 4)] {
-            pool::set_threads(width);
-            group.bench_with_input(
-                BenchmarkId::new(format!("numeric/{label}"), &name),
-                &(),
-                |bch, ()| {
-                    bch.iter(|| {
-                        black_box(
-                            LdlFactor::with_permutation(&a, perm.clone())
-                                .unwrap()
-                                .nnz_l(),
-                        )
-                    })
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("solve/{label}"), &name),
-                &(),
-                |bch, ()| {
-                    bch.iter(|| {
-                        f.solve_into_scratch(&b, &mut x, &mut work);
-                        black_box(x[0])
-                    })
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("solve_block8/{label}"), &name),
-                &(),
-                |bch, ()| {
-                    bch.iter(|| {
-                        f.solve_block_into_scratch(&rhs, &mut xb, &mut work);
-                        black_box(xb.col(0)[0])
-                    })
-                },
-            );
-            pool::set_threads(0);
+        for (mode, level) in simd_modes() {
+            kernel::set_level(level);
+            for (width_label, width) in [("serial", 1usize), ("w2", 2), ("w4", 4)] {
+                let label = format!("{width_label}_{mode}");
+                pool::set_threads(width);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("numeric/{label}"), &name),
+                    &(),
+                    |bch, ()| {
+                        bch.iter(|| {
+                            black_box(
+                                LdlFactor::with_permutation(&a, perm.clone())
+                                    .unwrap()
+                                    .nnz_l(),
+                            )
+                        })
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("solve/{label}"), &name),
+                    &(),
+                    |bch, ()| {
+                        bch.iter(|| {
+                            f.solve_into_scratch(&b, &mut x, &mut work);
+                            black_box(x[0])
+                        })
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("solve_block8/{label}"), &name),
+                    &(),
+                    |bch, ()| {
+                        bch.iter(|| {
+                            f.solve_block_into_scratch(&rhs, &mut xb, &mut work);
+                            black_box(xb.col(0)[0])
+                        })
+                    },
+                );
+                pool::set_threads(0);
+            }
         }
+        kernel::set_level(None);
     }
     group.finish();
 }

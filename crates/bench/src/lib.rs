@@ -35,6 +35,70 @@ pub fn fmt_mib(bytes: usize) -> String {
     format!("{:.1}M", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// The SIMD dispatch modes a bench should A/B: the detected tier (no
+/// override) and, when that tier is above scalar, a forced-scalar row.
+/// Pass each `Option<SimdLevel>` to [`sass_sparse::kernel::set_level`]
+/// and use the string in the bench row label.
+pub fn simd_modes() -> Vec<(&'static str, Option<sass_sparse::kernel::SimdLevel>)> {
+    use sass_sparse::kernel::{detected, SimdLevel};
+    let mut modes = vec![(detected().name(), None)];
+    if detected() != SimdLevel::Scalar {
+        modes.push(("scalar", Some(SimdLevel::Scalar)));
+    }
+    modes
+}
+
+/// Prints a `# simd: …` provenance line (detected/active dispatch tier,
+/// arch, compile-time target features, rustc version) and, when
+/// `CRITERION_JSON` is set, appends the same record to the baseline file
+/// as a `{"id":"<group>/provenance", …}` JSON line — so recorded
+/// simd-vs-scalar rows carry the toolchain context they were measured
+/// under.
+pub fn record_simd_provenance(group: &str) {
+    use sass_sparse::kernel;
+    let rustc = std::process::Command::new("rustc")
+        .arg("-V")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string());
+    let compile_features = [
+        ("sse2", cfg!(target_feature = "sse2")),
+        ("avx2", cfg!(target_feature = "avx2")),
+        ("neon", cfg!(target_feature = "neon")),
+    ]
+    .iter()
+    .filter(|&&(_, on)| on)
+    .map(|&(name, _)| name)
+    .collect::<Vec<_>>()
+    .join("+");
+    let (detected, active) = (kernel::detected().name(), kernel::active().name());
+    let arch = std::env::consts::ARCH;
+    println!(
+        "# simd: detected={detected} active={active} arch={arch} \
+         compile_target_features=[{compile_features}] rustc=\"{rustc}\""
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        use std::io::Write;
+        let rec = format!(
+            "{{\"id\":\"{group}/provenance\",\"detected\":\"{detected}\",\
+             \"active\":\"{active}\",\"arch\":\"{arch}\",\
+             \"compile_target_features\":\"{compile_features}\",\
+             \"rustc\":\"{rustc}\"}}"
+        );
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{rec}");
+            }
+            Err(e) => eprintln!("provenance: could not write {path}: {e}"),
+        }
+    }
+}
+
 /// Simple fixed-width table printer for paper-style rows.
 #[derive(Debug, Default)]
 pub struct Table {

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sass_graph::Graph;
 use sass_solver::{GroundedScratch, GroundedSolver};
-use sass_sparse::{dense, pool, DenseBlock, SparseBackend};
+use sass_sparse::{dense, kernel, pool, DenseBlock, SparseBackend};
 
 /// Below this many off-tree edges the heat accumulation stays serial
 /// under automatic pool sizing (see [`sass_sparse::pool::Pool::workers_for`]).
@@ -160,24 +160,26 @@ pub fn off_tree_heat<B: SparseBackend<Scalar = f64>>(
             dense::normalize(col);
         }
     }
-    // Heat accumulation: spans of off-tree edges, each slot summed over
-    // the probe columns in column order — the same floating-point
-    // association as the serial column-outer loop, so heats are
-    // bit-identical at any worker count.
+    // Heat accumulation: spans of off-tree edges through the SIMD-
+    // dispatched Joule-heat kernel (one edge per lane, probe columns
+    // summed in column order) — the same floating-point association as
+    // the serial column-outer loop, so heats are bit-identical at any
+    // worker count and SIMD level. Endpoints and weights are gathered
+    // into flat arrays once so each lane's kernel call is branch-free.
+    let mut us = Vec::with_capacity(off_tree.len());
+    let mut vs = Vec::with_capacity(off_tree.len());
+    let mut ws = Vec::with_capacity(off_tree.len());
+    for &id in off_tree {
+        let e = g.edge(id as usize);
+        us.push(e.u);
+        vs.push(e.v);
+        ws.push(e.weight);
+    }
     let heat_workers = p.workers_for(off_tree.len(), MIN_PAR_HEAT_EDGES, HEAT_EDGES_PER_WORKER);
     let heat_spans = pool::even_spans(off_tree.len(), heat_workers);
     p.parallel_for_disjoint_mut(&mut heat, &heat_spans, |s, chunk| {
-        let lo = heat_spans[s].0;
-        for (k, slot) in chunk.iter_mut().enumerate() {
-            let e = g.edge(off_tree[lo + k] as usize);
-            let (u, v, w) = (e.u as usize, e.v as usize, e.weight);
-            let mut acc = 0.0;
-            for col in h.columns() {
-                let d = col[u] - col[v];
-                acc += w * d * d;
-            }
-            *slot = acc;
-        }
+        let (lo, hi) = heat_spans[s];
+        kernel::joule_heat(&us[lo..hi], &vs[lo..hi], &ws[lo..hi], h.data(), n, chunk);
     });
     let heat_max = heat.iter().copied().fold(0.0, f64::max);
     OffTreeHeat { heat, heat_max }

@@ -12,7 +12,7 @@
 //!
 //! and keeps exactly the edges with `heat(e)/heat_max ≥ θσ`.
 
-use sass_sparse::pool;
+use sass_sparse::{kernel, pool};
 
 /// Below this many candidates [`select_edges`] scores serially under
 /// automatic pool sizing.
@@ -100,12 +100,10 @@ pub fn select_edges(
         .parallel_reduce(
             &spans,
             |_, (lo, hi)| {
-                off_tree[lo..hi]
-                    .iter()
-                    .zip(&heats[lo..hi])
-                    .filter(|&(_, &h)| h.is_finite() && h > 0.0 && h >= cutoff)
-                    .map(|(&id, &h)| (id, h))
-                    .collect::<Vec<_>>()
+                // SIMD-dispatched scan; selects the same pairs in the same
+                // order as the scalar filter (see `kernel`), so the
+                // span-order concatenation below stays deterministic.
+                kernel::scan_heat_candidates(&off_tree[lo..hi], &heats[lo..hi], cutoff)
             },
             |mut a, b| {
                 a.extend(b);

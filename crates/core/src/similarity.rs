@@ -14,6 +14,11 @@
 //!   fraction of its tree path is already covered by accepted edges — the
 //!   closest to the spectral meaning (overlapping tree paths ⇒ overlapping
 //!   heat), at the cost of walking tree paths.
+//!
+//! Unlike the heat scoring and filtering stages, nothing here routes
+//! through the SIMD kernel layer ([`sass_sparse::kernel`]): the policies
+//! are boolean endpoint marking and tree-path walks with no
+//! floating-point inner loops for a vector unit to help with.
 
 use sass_graph::{Graph, LcaIndex, RootedTree};
 

@@ -8,10 +8,14 @@
 //! ([`crate::LdlFactor::solve_block_into_scratch`]) can sweep all columns in
 //! one pass over a factor's indices.
 
+use crate::kernel::AlignedVec;
+
 /// A dense `nrows × ncols` multivector stored column-major.
 ///
 /// Column `c` occupies `data[c * nrows .. (c + 1) * nrows]`; columns are
 /// therefore contiguous slices, cheap to hand to single-vector kernels.
+/// The buffer is cache-line aligned ([`AlignedVec`]) so the blocked LDLᵀ
+/// sweep kernels never split their first vector load across lines.
 ///
 /// # Example
 ///
@@ -27,7 +31,7 @@
 pub struct DenseBlock {
     nrows: usize,
     ncols: usize,
-    data: Vec<f64>,
+    data: AlignedVec<f64>,
 }
 
 impl DenseBlock {
@@ -36,7 +40,7 @@ impl DenseBlock {
         DenseBlock {
             nrows,
             ncols,
-            data: vec![0.0; nrows * ncols],
+            data: AlignedVec::from_elem(0.0, nrows * ncols),
         }
     }
 
@@ -53,7 +57,7 @@ impl DenseBlock {
             columns.iter().all(|c| c.len() == nrows),
             "from_columns: ragged columns"
         );
-        let mut data = Vec::with_capacity(nrows * columns.len());
+        let mut data = AlignedVec::with_capacity(nrows * columns.len());
         for c in columns {
             data.extend_from_slice(c);
         }

@@ -170,6 +170,12 @@ impl<S: Scalar> CscMatrix<S> {
     /// matrix: each `y[i]` accumulates the same products in the same
     /// ascending-column order, starting from zero.
     ///
+    /// The scatter stays on the scalar loop deliberately: its writes are
+    /// indexed by row, so a vector kernel would need scatter stores with
+    /// intra-register conflict handling. The SIMD row-gather kernel
+    /// ([`crate::kernel`]) is reached through the threaded path below,
+    /// which runs over the CSR transpose mirror.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != ncols` or `y.len() != nrows`.

@@ -166,7 +166,9 @@ impl<S: Scalar> CsrMatrix<S> {
         y
     }
 
-    /// Matrix-vector product into a caller-provided buffer: `y = A·x`.
+    /// Matrix-vector product into a caller-provided buffer: `y = A·x`,
+    /// routed through the width-matched [`crate::kernel`] SpMV dispatcher
+    /// (scalar fallback when SIMD is unavailable or disabled).
     ///
     /// # Panics
     ///
@@ -174,15 +176,7 @@ impl<S: Scalar> CsrMatrix<S> {
     pub fn mul_vec_into(&self, x: &[S], y: &mut [S]) {
         assert_eq!(x.len(), self.ncols, "mul_vec: x length mismatch");
         assert_eq!(y.len(), self.nrows, "mul_vec: y length mismatch");
-        for i in 0..self.nrows {
-            let lo = self.indptr[i];
-            let hi = self.indptr[i + 1];
-            let mut acc = S::ZERO;
-            for p in lo..hi {
-                acc += self.data[p] * x[self.indices[p] as usize];
-            }
-            y[i] = acc;
-        }
+        S::spmv_range(&self.indptr, &self.indices, &self.data, x, y, 0, self.nrows);
     }
 
     /// Matrix-vector product into a caller-provided buffer, using the

@@ -1,0 +1,101 @@
+//! AArch64 NEON kernels. NEON is part of the AArch64 baseline, so these
+//! need no runtime detection — the dispatcher maps every AArch64 build to
+//! [`super::SimdLevel::Neon`] unless `SASS_NO_SIMD` forces scalar.
+//!
+//! The NEON surface is deliberately smaller than x86: f32 SpMV (4-wide,
+//! toleranced) and the 8-wide LDLᵀ sweep kernels. f64 SpMV stays scalar
+//! for the same measured reason as on x86 (see `x86.rs` module docs):
+//! bit-exactness pins the row sum to a serial add chain, so a vector
+//! front end only adds a buffering pass. NEON has no gather, so the BCSR
+//! tile kernels and the heat scan also stay on the scalar oracle, where
+//! the autovectorizer already does respectably on fixed-shape tiles. The
+//! f64 bit-exactness argument for the LDLᵀ kernels is the same as on
+//! x86: independent lanes, mul-then-sub per lane, no FMA contraction.
+
+#![allow(clippy::needless_range_loop)]
+
+use core::arch::aarch64::*;
+
+/// NEON f32 SpMV over rows `lo..hi`: 4-wide accumulation with a scalar
+/// tail (toleranced; reassociates the row sum).
+#[cfg(feature = "storage-f32")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn spmv_range_f32_neon(
+    indptr: &[usize],
+    indices: &[u32],
+    data: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    lo: usize,
+    hi: usize,
+) {
+    for i in lo..hi {
+        let (s, e) = (indptr[i], indptr[i + 1]);
+        let row_idx = &indices[s..e];
+        let row_val = &data[s..e];
+        let nnz = row_val.len();
+        let mut acc = vdupq_n_f32(0.0);
+        let mut t = 0;
+        while t + 4 <= nnz {
+            let v = vld1q_f32(row_val.as_ptr().add(t));
+            let xg = [
+                x[row_idx[t] as usize],
+                x[row_idx[t + 1] as usize],
+                x[row_idx[t + 2] as usize],
+                x[row_idx[t + 3] as usize],
+            ];
+            let xv = vld1q_f32(xg.as_ptr());
+            acc = vaddq_f32(acc, vmulq_f32(v, xv));
+            t += 4;
+        }
+        let mut total = vaddvq_f32(acc);
+        for tt in t..nnz {
+            total += row_val[tt] * x[row_idx[tt] as usize];
+        }
+        y[i - lo] = total;
+    }
+}
+
+/// NEON 8-wide LDLᵀ row update (bit-exact: rounded multiply then rounded
+/// subtract per lane, no FMA).
+///
+/// # Safety
+///
+/// As [`super::scalar::ldl_row_update8`].
+pub(super) unsafe fn ldl_row_update8_neon(acc: &mut [f64], ri: &[u32], rx: &[f64], w: *const f64) {
+    debug_assert_eq!(acc.len(), 8);
+    let mut a0 = vld1q_f64(acc.as_ptr());
+    let mut a1 = vld1q_f64(acc.as_ptr().add(2));
+    let mut a2 = vld1q_f64(acc.as_ptr().add(4));
+    let mut a3 = vld1q_f64(acc.as_ptr().add(6));
+    for p in 0..ri.len() {
+        let l = vdupq_n_f64(rx[p]);
+        let wi = w.add(ri[p] as usize * 8);
+        a0 = vsubq_f64(a0, vmulq_f64(l, vld1q_f64(wi)));
+        a1 = vsubq_f64(a1, vmulq_f64(l, vld1q_f64(wi.add(2))));
+        a2 = vsubq_f64(a2, vmulq_f64(l, vld1q_f64(wi.add(4))));
+        a3 = vsubq_f64(a3, vmulq_f64(l, vld1q_f64(wi.add(6))));
+    }
+    vst1q_f64(acc.as_mut_ptr(), a0);
+    vst1q_f64(acc.as_mut_ptr().add(2), a1);
+    vst1q_f64(acc.as_mut_ptr().add(4), a2);
+    vst1q_f64(acc.as_mut_ptr().add(6), a3);
+}
+
+/// NEON lanewise pivot division (bit-exact: division is correctly
+/// rounded).
+pub(super) fn ldl_scale_row8_neon(wj: &mut [f64], dj: f64) {
+    assert_eq!(wj.len(), 8);
+    // SAFETY: length checked above; NEON is the AArch64 baseline.
+    unsafe {
+        let d = vdupq_n_f64(dj);
+        let a0 = vdivq_f64(vld1q_f64(wj.as_ptr()), d);
+        let a1 = vdivq_f64(vld1q_f64(wj.as_ptr().add(2)), d);
+        let a2 = vdivq_f64(vld1q_f64(wj.as_ptr().add(4)), d);
+        let a3 = vdivq_f64(vld1q_f64(wj.as_ptr().add(6)), d);
+        vst1q_f64(wj.as_mut_ptr(), a0);
+        vst1q_f64(wj.as_mut_ptr().add(2), a1);
+        vst1q_f64(wj.as_mut_ptr().add(4), a2);
+        vst1q_f64(wj.as_mut_ptr().add(6), a3);
+    }
+}

@@ -1,0 +1,502 @@
+//! x86-64 SIMD kernels: SSE2 (baseline, always available on x86-64) and
+//! AVX2 (runtime-detected) variants of the scalar oracles.
+//!
+//! # Bit-exactness strategy (f64)
+//!
+//! Every f64 kernel here reproduces the scalar accumulation order exactly:
+//!
+//! - **SpMV has no f64 variant by measurement, not omission.** A
+//!   bit-exact row gather must sum each row serially in stored order, so
+//!   the floating-point add chain — the actual latency bound, which
+//!   out-of-order hardware already overlaps with the scalar multiplies —
+//!   cannot be widened; all a vector version can do is pre-form the
+//!   products through a stack buffer, and that extra pass measured ~30%
+//!   *slower* than the scalar loop on the `backends` bench workloads
+//!   (`csr_f64` mesh row: ≈120µs buffered vs ≈90µs scalar). The f64
+//!   dispatcher therefore resolves to the scalar kernel at every tier;
+//!   the f32 path (reassociation allowed under the documented tolerance)
+//!   is where the SpMV speedup lives.
+//! - **BCSR tiles** are register-transposed (`unpacklo/hi`, and
+//!   `permute2f128` for 4×4) so the accumulator lane for output row `br`
+//!   adds tile columns in ascending-column order — the exact scalar
+//!   sequence `acc[br] += t[br][0]·x0; acc[br] += t[br][1]·x1; …`.
+//! - **LDLᵀ 8-wide sweeps** keep each of the 8 interleaved right-hand
+//!   sides in its own lane; `acc -= l·w` is one correctly-rounded multiply
+//!   followed by one correctly-rounded subtract per lane, same as scalar.
+//!   No FMA is used anywhere: contraction would change the rounding.
+//! - **Joule heat** puts one edge per lane; per lane the column loop
+//!   performs `acc += (w·d)·d` in the scalar order.
+//! - Lanewise division (`ldl_scale_row8`) is correctly rounded, hence
+//!   trivially bit-exact.
+//!
+//! f32 kernels are only required to meet the per-row `(nnz+2)·ε_f32`
+//! tolerance from `backend_parity.rs`, so they use wide in-register
+//! accumulators and (on AVX2) masked tail loads — mesh-like rows carry
+//! only 7–9 stored entries, so a kernel that needs `nnz ≥ 8` to engage
+//! would never run; `maskload`/masked-gather handling of the ragged tail
+//! is what makes the wide path reachable on the workloads we care about.
+//!
+//! # Safety conventions
+//!
+//! All functions take slices and bound-check through them before issuing
+//! raw loads; AVX2 functions carry `#[target_feature(enable = "avx2")]`
+//! and must only be called after `is_x86_feature_detected!("avx2")`
+//! (enforced by the dispatchers in [`super`]). Gather index math assumes
+//! column/node indices fit in `i32`, which the dispatchers guarantee by
+//! falling back to scalar for absurdly wide operands.
+
+// Kernels index several parallel arrays in lockstep; explicit indices
+// keep the lane bookkeeping auditable against the scalar oracle.
+#![allow(clippy::needless_range_loop)]
+
+use core::arch::x86_64::*;
+
+// ---------------------------------------------------------------------------
+// CSR row-gather SpMV (f32 only — see the module docs for why f64 SpMV
+// deliberately has no vector variant)
+// ---------------------------------------------------------------------------
+
+/// SSE2 f32 SpMV over rows `lo..hi`: 4-wide dual accumulators with a
+/// scalar tail (toleranced; reassociates the row sum).
+#[cfg(feature = "storage-f32")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn spmv_range_f32_sse2(
+    indptr: &[usize],
+    indices: &[u32],
+    data: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    lo: usize,
+    hi: usize,
+) {
+    for i in lo..hi {
+        let (s, e) = (indptr[i], indptr[i + 1]);
+        let row_idx = &indices[s..e];
+        let row_val = &data[s..e];
+        let nnz = row_val.len();
+        let mut acc0 = _mm_setzero_ps();
+        let mut acc1 = _mm_setzero_ps();
+        let mut t = 0;
+        while t + 8 <= nnz {
+            let v0 = _mm_loadu_ps(row_val.as_ptr().add(t));
+            let x0 = _mm_set_ps(
+                x[row_idx[t + 3] as usize],
+                x[row_idx[t + 2] as usize],
+                x[row_idx[t + 1] as usize],
+                x[row_idx[t] as usize],
+            );
+            acc0 = _mm_add_ps(acc0, _mm_mul_ps(v0, x0));
+            let v1 = _mm_loadu_ps(row_val.as_ptr().add(t + 4));
+            let x1 = _mm_set_ps(
+                x[row_idx[t + 7] as usize],
+                x[row_idx[t + 6] as usize],
+                x[row_idx[t + 5] as usize],
+                x[row_idx[t + 4] as usize],
+            );
+            acc1 = _mm_add_ps(acc1, _mm_mul_ps(v1, x1));
+            t += 8;
+        }
+        if t + 4 <= nnz {
+            let v0 = _mm_loadu_ps(row_val.as_ptr().add(t));
+            let x0 = _mm_set_ps(
+                x[row_idx[t + 3] as usize],
+                x[row_idx[t + 2] as usize],
+                x[row_idx[t + 1] as usize],
+                x[row_idx[t] as usize],
+            );
+            acc0 = _mm_add_ps(acc0, _mm_mul_ps(v0, x0));
+            t += 4;
+        }
+        let s4 = _mm_add_ps(acc0, acc1);
+        let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+        let s1 = _mm_add_ss(s2, _mm_shuffle_ps::<1>(s2, s2));
+        let mut total = _mm_cvtss_f32(s1);
+        for tt in t..nnz {
+            total += row_val[tt] * x[row_idx[tt] as usize];
+        }
+        y[i - lo] = total;
+    }
+}
+
+/// AVX2 f32 SpMV over rows `lo..hi`: 8-wide gathered accumulation with a
+/// **masked** ragged tail, so even 7–9-entry mesh rows run vectorized
+/// (toleranced; reassociates the row sum).
+#[cfg(feature = "storage-f32")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn spmv_range_f32_avx2(
+    indptr: &[usize],
+    indices: &[u32],
+    data: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    lo: usize,
+    hi: usize,
+) {
+    let zero = _mm256_setzero_ps();
+    let lane_ids = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    for i in lo..hi {
+        let (s, e) = (indptr[i], indptr[i + 1]);
+        let nnz = e - s;
+        let mut acc = _mm256_setzero_ps();
+        let mut t = 0;
+        while t + 8 <= nnz {
+            let idx = _mm256_loadu_si256(indices.as_ptr().add(s + t).cast::<__m256i>());
+            let xv = _mm256_i32gather_ps::<4>(x.as_ptr(), idx);
+            let v = _mm256_loadu_ps(data.as_ptr().add(s + t));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(v, xv));
+            t += 8;
+        }
+        if t < nnz {
+            // Masked tail: inactive lanes load index 0 / value 0.0 and are
+            // excluded from the gather, contributing an exact +0.0.
+            let mask = _mm256_cmpgt_epi32(_mm256_set1_epi32((nnz - t) as i32), lane_ids);
+            let idx = _mm256_maskload_epi32(indices.as_ptr().add(s + t).cast::<i32>(), mask);
+            let v = _mm256_maskload_ps(data.as_ptr().add(s + t), mask);
+            let xv =
+                _mm256_mask_i32gather_ps::<4>(zero, x.as_ptr(), idx, _mm256_castsi256_ps(mask));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(v, xv));
+        }
+        let q = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps::<1>(acc));
+        let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        let s1 = _mm_add_ss(d, _mm_shuffle_ps::<1>(d, d));
+        y[i - lo] = _mm_cvtss_f32(s1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BCSR tile kernels
+// ---------------------------------------------------------------------------
+
+/// SSE2 f64 2×2 BCSR block-row kernel: tiles register-transposed so each
+/// accumulator lane adds columns in the scalar order (bit-exact).
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn bcsr2_f64_sse2(
+    nrows: usize,
+    ncols: usize,
+    indptr: &[usize],
+    indices: &[u32],
+    data: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    ib_lo: usize,
+    ib_hi: usize,
+) {
+    let y_base = ib_lo * 2;
+    for ib in ib_lo..ib_hi {
+        let r0 = ib * 2;
+        let r_end = (r0 + 2).min(nrows);
+        let mut acc = _mm_setzero_pd();
+        for blk in indptr[ib]..indptr[ib + 1] {
+            let c0 = indices[blk] as usize * 2;
+            let base = blk * 4;
+            let tile = &data[base..base + 4];
+            if c0 + 2 <= ncols {
+                let row0 = _mm_loadu_pd(tile.as_ptr());
+                let row1 = _mm_loadu_pd(tile.as_ptr().add(2));
+                let col0 = _mm_unpacklo_pd(row0, row1);
+                let col1 = _mm_unpackhi_pd(row0, row1);
+                acc = _mm_add_pd(acc, _mm_mul_pd(col0, _mm_set1_pd(x[c0])));
+                acc = _mm_add_pd(acc, _mm_mul_pd(col1, _mm_set1_pd(x[c0 + 1])));
+            } else {
+                // Ragged last block column: one real column survives.
+                let col0 = _mm_set_pd(tile[2], tile[0]);
+                acc = _mm_add_pd(acc, _mm_mul_pd(col0, _mm_set1_pd(x[c0])));
+            }
+        }
+        let mut out = [0.0f64; 2];
+        _mm_storeu_pd(out.as_mut_ptr(), acc);
+        for (k, i) in (r0..r_end).enumerate() {
+            y[i - y_base] = out[k];
+        }
+    }
+}
+
+/// AVX2 f64 4×4 BCSR block-row kernel: tiles transposed with
+/// `unpacklo/hi_pd` + `permute2f128_pd` (bit-exact).
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn bcsr4_f64_avx2(
+    nrows: usize,
+    ncols: usize,
+    indptr: &[usize],
+    indices: &[u32],
+    data: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    ib_lo: usize,
+    ib_hi: usize,
+) {
+    let y_base = ib_lo * 4;
+    for ib in ib_lo..ib_hi {
+        let r0 = ib * 4;
+        let r_end = (r0 + 4).min(nrows);
+        let mut acc = _mm256_setzero_pd();
+        for blk in indptr[ib]..indptr[ib + 1] {
+            let c0 = indices[blk] as usize * 4;
+            let base = blk * 16;
+            let tile = &data[base..base + 16];
+            if c0 + 4 <= ncols {
+                let r0v = _mm256_loadu_pd(tile.as_ptr());
+                let r1v = _mm256_loadu_pd(tile.as_ptr().add(4));
+                let r2v = _mm256_loadu_pd(tile.as_ptr().add(8));
+                let r3v = _mm256_loadu_pd(tile.as_ptr().add(12));
+                let t0 = _mm256_unpacklo_pd(r0v, r1v);
+                let t1 = _mm256_unpackhi_pd(r0v, r1v);
+                let t2 = _mm256_unpacklo_pd(r2v, r3v);
+                let t3 = _mm256_unpackhi_pd(r2v, r3v);
+                let col0 = _mm256_permute2f128_pd::<0x20>(t0, t2);
+                let col1 = _mm256_permute2f128_pd::<0x20>(t1, t3);
+                let col2 = _mm256_permute2f128_pd::<0x31>(t0, t2);
+                let col3 = _mm256_permute2f128_pd::<0x31>(t1, t3);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(col0, _mm256_set1_pd(x[c0])));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(col1, _mm256_set1_pd(x[c0 + 1])));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(col2, _mm256_set1_pd(x[c0 + 2])));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(col3, _mm256_set1_pd(x[c0 + 3])));
+            } else {
+                // Ragged last block column: strided column loads keep the
+                // ascending-column add order without assuming the ragged
+                // block sits last in the block row.
+                let width = ncols - c0;
+                for c in 0..width {
+                    let col = _mm256_set_pd(tile[12 + c], tile[8 + c], tile[4 + c], tile[c]);
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(col, _mm256_set1_pd(x[c0 + c])));
+                }
+            }
+        }
+        let mut out = [0.0f64; 4];
+        _mm256_storeu_pd(out.as_mut_ptr(), acc);
+        for (k, i) in (r0..r_end).enumerate() {
+            y[i - y_base] = out[k];
+        }
+    }
+}
+
+/// SSE f32 4×4 BCSR block-row kernel. A 4×4 f32 tile row is one 128-bit
+/// register, so the transposed form adds columns in the exact scalar
+/// order — this f32 kernel happens to be bit-exact too.
+#[cfg(feature = "storage-f32")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn bcsr4_f32_sse2(
+    nrows: usize,
+    ncols: usize,
+    indptr: &[usize],
+    indices: &[u32],
+    data: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    ib_lo: usize,
+    ib_hi: usize,
+) {
+    let y_base = ib_lo * 4;
+    for ib in ib_lo..ib_hi {
+        let r0 = ib * 4;
+        let r_end = (r0 + 4).min(nrows);
+        let mut acc = _mm_setzero_ps();
+        for blk in indptr[ib]..indptr[ib + 1] {
+            let c0 = indices[blk] as usize * 4;
+            let base = blk * 16;
+            let tile = &data[base..base + 16];
+            if c0 + 4 <= ncols {
+                let r0v = _mm_loadu_ps(tile.as_ptr());
+                let r1v = _mm_loadu_ps(tile.as_ptr().add(4));
+                let r2v = _mm_loadu_ps(tile.as_ptr().add(8));
+                let r3v = _mm_loadu_ps(tile.as_ptr().add(12));
+                let t0 = _mm_unpacklo_ps(r0v, r1v);
+                let t1 = _mm_unpacklo_ps(r2v, r3v);
+                let t2 = _mm_unpackhi_ps(r0v, r1v);
+                let t3 = _mm_unpackhi_ps(r2v, r3v);
+                let col0 = _mm_movelh_ps(t0, t1);
+                let col1 = _mm_movehl_ps(t1, t0);
+                let col2 = _mm_movelh_ps(t2, t3);
+                let col3 = _mm_movehl_ps(t3, t2);
+                acc = _mm_add_ps(acc, _mm_mul_ps(col0, _mm_set1_ps(x[c0])));
+                acc = _mm_add_ps(acc, _mm_mul_ps(col1, _mm_set1_ps(x[c0 + 1])));
+                acc = _mm_add_ps(acc, _mm_mul_ps(col2, _mm_set1_ps(x[c0 + 2])));
+                acc = _mm_add_ps(acc, _mm_mul_ps(col3, _mm_set1_ps(x[c0 + 3])));
+            } else {
+                let width = ncols - c0;
+                for c in 0..width {
+                    let col = _mm_set_ps(tile[12 + c], tile[8 + c], tile[4 + c], tile[c]);
+                    acc = _mm_add_ps(acc, _mm_mul_ps(col, _mm_set1_ps(x[c0 + c])));
+                }
+            }
+        }
+        let mut out = [0.0f32; 4];
+        _mm_storeu_ps(out.as_mut_ptr(), acc);
+        for (k, i) in (r0..r_end).enumerate() {
+            y[i - y_base] = out[k];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 8-wide blocked LDLᵀ sweep kernels
+// ---------------------------------------------------------------------------
+
+/// SSE2 8-wide LDLᵀ row update (bit-exact: per lane, one rounded multiply
+/// then one rounded subtract, exactly the scalar `acc[c] -= l·w[c]`).
+///
+/// # Safety
+///
+/// As [`super::scalar::ldl_row_update8`].
+pub(super) unsafe fn ldl_row_update8_sse2(acc: &mut [f64], ri: &[u32], rx: &[f64], w: *const f64) {
+    debug_assert_eq!(acc.len(), 8);
+    let mut a0 = _mm_loadu_pd(acc.as_ptr());
+    let mut a1 = _mm_loadu_pd(acc.as_ptr().add(2));
+    let mut a2 = _mm_loadu_pd(acc.as_ptr().add(4));
+    let mut a3 = _mm_loadu_pd(acc.as_ptr().add(6));
+    for p in 0..ri.len() {
+        let l = _mm_set1_pd(rx[p]);
+        let wi = w.add(ri[p] as usize * 8);
+        a0 = _mm_sub_pd(a0, _mm_mul_pd(l, _mm_loadu_pd(wi)));
+        a1 = _mm_sub_pd(a1, _mm_mul_pd(l, _mm_loadu_pd(wi.add(2))));
+        a2 = _mm_sub_pd(a2, _mm_mul_pd(l, _mm_loadu_pd(wi.add(4))));
+        a3 = _mm_sub_pd(a3, _mm_mul_pd(l, _mm_loadu_pd(wi.add(6))));
+    }
+    _mm_storeu_pd(acc.as_mut_ptr(), a0);
+    _mm_storeu_pd(acc.as_mut_ptr().add(2), a1);
+    _mm_storeu_pd(acc.as_mut_ptr().add(4), a2);
+    _mm_storeu_pd(acc.as_mut_ptr().add(6), a3);
+}
+
+/// AVX2 8-wide LDLᵀ row update (bit-exact; no FMA — contraction would
+/// change the rounding).
+///
+/// # Safety
+///
+/// As [`super::scalar::ldl_row_update8`], plus AVX2 must be available.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn ldl_row_update8_avx2(acc: &mut [f64], ri: &[u32], rx: &[f64], w: *const f64) {
+    debug_assert_eq!(acc.len(), 8);
+    let mut a0 = _mm256_loadu_pd(acc.as_ptr());
+    let mut a1 = _mm256_loadu_pd(acc.as_ptr().add(4));
+    for p in 0..ri.len() {
+        let l = _mm256_set1_pd(rx[p]);
+        let wi = w.add(ri[p] as usize * 8);
+        a0 = _mm256_sub_pd(a0, _mm256_mul_pd(l, _mm256_loadu_pd(wi)));
+        a1 = _mm256_sub_pd(a1, _mm256_mul_pd(l, _mm256_loadu_pd(wi.add(4))));
+    }
+    _mm256_storeu_pd(acc.as_mut_ptr(), a0);
+    _mm256_storeu_pd(acc.as_mut_ptr().add(4), a1);
+}
+
+/// SSE2 lanewise pivot division (bit-exact: division is correctly
+/// rounded).
+pub(super) fn ldl_scale_row8_sse2(wj: &mut [f64], dj: f64) {
+    assert_eq!(wj.len(), 8);
+    // SAFETY: length checked above; SSE2 is the x86-64 baseline.
+    unsafe {
+        let d = _mm_set1_pd(dj);
+        let a0 = _mm_div_pd(_mm_loadu_pd(wj.as_ptr()), d);
+        let a1 = _mm_div_pd(_mm_loadu_pd(wj.as_ptr().add(2)), d);
+        let a2 = _mm_div_pd(_mm_loadu_pd(wj.as_ptr().add(4)), d);
+        let a3 = _mm_div_pd(_mm_loadu_pd(wj.as_ptr().add(6)), d);
+        _mm_storeu_pd(wj.as_mut_ptr(), a0);
+        _mm_storeu_pd(wj.as_mut_ptr().add(2), a1);
+        _mm_storeu_pd(wj.as_mut_ptr().add(4), a2);
+        _mm_storeu_pd(wj.as_mut_ptr().add(6), a3);
+    }
+}
+
+/// AVX2 lanewise pivot division (bit-exact).
+///
+/// # Safety
+///
+/// AVX2 must be available at runtime.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn ldl_scale_row8_avx2(wj: &mut [f64], dj: f64) {
+    assert_eq!(wj.len(), 8);
+    let d = _mm256_set1_pd(dj);
+    let a0 = _mm256_div_pd(_mm256_loadu_pd(wj.as_ptr()), d);
+    let a1 = _mm256_div_pd(_mm256_loadu_pd(wj.as_ptr().add(4)), d);
+    _mm256_storeu_pd(wj.as_mut_ptr(), a0);
+    _mm256_storeu_pd(wj.as_mut_ptr().add(4), a1);
+}
+
+// ---------------------------------------------------------------------------
+// Joule-heat accumulation and heat-filter scan
+// ---------------------------------------------------------------------------
+
+/// AVX2 Joule-heat kernel: one edge per lane, embedding columns gathered
+/// by endpoint (bit-exact: per lane the column loop adds `(w·d)·d` in the
+/// scalar order).
+///
+/// # Safety
+///
+/// AVX2 must be available; `h` must hold `r·n` doubles column-major and
+/// every `us`/`vs` entry must be `< n`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn joule_heat_avx2(
+    us: &[u32],
+    vs: &[u32],
+    ws: &[f64],
+    h: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    let r = h.len().checked_div(n).unwrap_or(0);
+    let m = out.len();
+    let mut k = 0;
+    while k + 4 <= m {
+        let ui = _mm_loadu_si128(us.as_ptr().add(k).cast::<__m128i>());
+        let vi = _mm_loadu_si128(vs.as_ptr().add(k).cast::<__m128i>());
+        let w = _mm256_loadu_pd(ws.as_ptr().add(k));
+        let mut acc = _mm256_setzero_pd();
+        for c in 0..r {
+            let col = h.as_ptr().add(c * n);
+            let hu = _mm256_i32gather_pd::<8>(col, ui);
+            let hv = _mm256_i32gather_pd::<8>(col, vi);
+            let d = _mm256_sub_pd(hu, hv);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_mul_pd(w, d), d));
+        }
+        _mm256_storeu_pd(out.as_mut_ptr().add(k), acc);
+        k += 4;
+    }
+    if k < m {
+        super::scalar::joule_heat(&us[k..], &vs[k..], &ws[k..], h, n, &mut out[k..]);
+    }
+}
+
+/// AVX2 heat-filter scan: 4 heats compared per iteration, survivors
+/// pushed via `movemask` in lane (= input) order, so the output sequence
+/// is identical to the scalar scan. Finiteness is tested as
+/// `(h − h) == 0.0` (ordered compare), which rejects NaN and ±∞.
+///
+/// # Safety
+///
+/// AVX2 must be available; `ids.len() == heats.len()`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn scan_heat_candidates_avx2(
+    ids: &[u32],
+    heats: &[f64],
+    cutoff: f64,
+) -> Vec<(u32, f64)> {
+    debug_assert_eq!(ids.len(), heats.len());
+    let mut out = Vec::new();
+    let zero = _mm256_setzero_pd();
+    let cut = _mm256_set1_pd(cutoff);
+    let m = ids.len();
+    let mut k = 0;
+    while k + 4 <= m {
+        let h = _mm256_loadu_pd(heats.as_ptr().add(k));
+        let finite = _mm256_cmp_pd::<_CMP_EQ_OQ>(_mm256_sub_pd(h, h), zero);
+        let pos = _mm256_cmp_pd::<_CMP_GT_OQ>(h, zero);
+        let ge = _mm256_cmp_pd::<_CMP_GE_OQ>(h, cut);
+        let keep = _mm256_and_pd(_mm256_and_pd(finite, pos), ge);
+        let mut bits = _mm256_movemask_pd(keep) as u32;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            out.push((ids[k + lane], heats[k + lane]));
+            bits &= bits - 1;
+        }
+        k += 4;
+    }
+    for t in k..m {
+        let h = heats[t];
+        if h.is_finite() && h > 0.0 && h >= cutoff {
+            out.push((ids[t], h));
+        }
+    }
+    out
+}

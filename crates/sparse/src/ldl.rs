@@ -856,6 +856,16 @@ impl LdlFactor {
     /// and the claim covering `w[j·K..(j+1)·K]`.
     unsafe fn forward_row_block<const K: usize>(&self, j: usize, w: &pool::SendPtr<f64>) {
         let base = w.get();
+        if K == LDL_BLOCK_WIDTH {
+            // The full-width chunk is the hot shape; route it through the
+            // 8-wide SIMD dispatcher (bit-identical to the loop below —
+            // the referenced rows sit strictly below `j`, so the in-place
+            // accumulator never aliases them).
+            let acc = std::slice::from_raw_parts_mut(base.add(j * K), K);
+            let (s, e) = (self.rp[j], self.rp[j + 1]);
+            crate::kernel::ldl_row_update8(acc, &self.ri[s..e], &self.rx[s..e], base);
+            return;
+        }
         let mut acc = [0.0f64; K];
         acc.copy_from_slice(std::slice::from_raw_parts(base.add(j * K), K));
         for p in self.rp[j]..self.rp[j + 1] {
@@ -878,6 +888,11 @@ impl LdlFactor {
     unsafe fn scale_row_block<const K: usize>(&self, j: usize, w: &pool::SendPtr<f64>) {
         let dj = self.d[j];
         let wj = std::slice::from_raw_parts_mut(w.get().add(j * K), K);
+        if K == LDL_BLOCK_WIDTH {
+            // Lanewise division is correctly rounded: bit-identical.
+            crate::kernel::ldl_scale_row8(wj, dj);
+            return;
+        }
         for c in 0..K {
             wj[c] /= dj;
         }
@@ -892,6 +907,14 @@ impl LdlFactor {
     /// strictly higher etree levels.
     unsafe fn backward_col_block<const K: usize>(&self, j: usize, w: &pool::SendPtr<f64>) {
         let base = w.get();
+        if K == LDL_BLOCK_WIDTH {
+            // As `forward_row_block`: the transpose index references rows
+            // strictly above `j`, never the accumulator itself.
+            let acc = std::slice::from_raw_parts_mut(base.add(j * K), K);
+            let (s, e) = (self.cp[j], self.cp[j + 1]);
+            crate::kernel::ldl_row_update8(acc, &self.ci[s..e], &self.cx[s..e], base);
+            return;
+        }
         let mut acc = [0.0f64; K];
         acc.copy_from_slice(std::slice::from_raw_parts(base.add(j * K), K));
         for p in self.cp[j]..self.cp[j + 1] {

@@ -13,6 +13,13 @@
 //!   generic over the sealed [`Scalar`] trait (`f64` default, `f32` behind
 //!   the `storage-f32` feature), with bit-identical `f64` products across
 //!   layouts and worker counts,
+//! - [`kernel`]: explicit SIMD microkernels (SSE2/AVX2/NEON behind runtime
+//!   dispatch, `simd` feature, `SASS_NO_SIMD` escape hatch) for the
+//!   stored-scalar hot paths — CSR/BCSR SpMV, the 8-wide LDLᵀ sweeps, the
+//!   Joule-heat and heat-scan loops — with the scalar loops as always-on
+//!   fallback and parity oracle, plus the [`kernel::AlignedVec`]
+//!   cache-line-aligned buffer used for BCSR tiles and [`DenseBlock`]
+//!   storage,
 //! - [`pool`]: the persistent worker pool every parallel kernel in the
 //!   workspace dispatches through — parked OS threads woken per dispatch
 //!   (no per-call spawn), with deterministic span-ordered reduction and a
@@ -74,6 +81,7 @@ mod scalar;
 
 pub mod dense;
 pub mod etree;
+pub mod kernel;
 pub mod mmio;
 pub mod ordering;
 pub mod pool;

@@ -66,13 +66,9 @@ fn par_spmv_on<S: Scalar>(p: &pool::Pool, a: &CsrMatrix<S>, x: &[S], y: &mut [S]
     let spans = pool::balanced_spans(indptr, workers);
     p.parallel_for_disjoint_mut(y, &spans, |s, chunk| {
         let (lo, hi) = spans[s];
-        for i in lo..hi {
-            let mut acc = S::ZERO;
-            for p in indptr[i]..indptr[i + 1] {
-                acc += data[p] * x[indices[p] as usize];
-            }
-            chunk[i - lo] = acc;
-        }
+        // Same kernel dispatcher as the serial path, per span — parallel
+        // stays bit-identical to serial at every SIMD level.
+        S::spmv_range(indptr, indices, data, x, chunk, lo, hi);
     });
 }
 

@@ -79,6 +79,39 @@ pub trait Scalar:
 
     /// Whether the value is neither infinite nor NaN.
     fn is_finite(self) -> bool;
+
+    /// CSR row-gather SpMV over rows `lo..hi`, routed through the
+    /// width-matched [`crate::kernel`] dispatcher (`f64` bit-identical to
+    /// scalar, `f32` toleranced — see the kernel module docs). This hook
+    /// is how the generic matrix backends reach the monomorphic SIMD
+    /// kernels without naming a concrete scalar.
+    #[allow(clippy::too_many_arguments)]
+    fn spmv_range(
+        indptr: &[usize],
+        indices: &[u32],
+        data: &[Self],
+        x: &[Self],
+        y: &mut [Self],
+        lo: usize,
+        hi: usize,
+    );
+
+    /// BCSR block-row product over block rows `[ib_lo, ib_hi)` (`b` ∈
+    /// {2, 4}), routed through the width-matched [`crate::kernel`]
+    /// dispatcher; same parity contract as [`Scalar::spmv_range`].
+    #[allow(clippy::too_many_arguments)]
+    fn bcsr_rows(
+        b: usize,
+        nrows: usize,
+        ncols: usize,
+        indptr: &[usize],
+        indices: &[u32],
+        data: &[Self],
+        x: &[Self],
+        y: &mut [Self],
+        ib_lo: usize,
+        ib_hi: usize,
+    );
 }
 
 impl Scalar for f64 {
@@ -109,6 +142,35 @@ impl Scalar for f64 {
     #[inline]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
+    }
+
+    #[inline]
+    fn spmv_range(
+        indptr: &[usize],
+        indices: &[u32],
+        data: &[f64],
+        x: &[f64],
+        y: &mut [f64],
+        lo: usize,
+        hi: usize,
+    ) {
+        crate::kernel::spmv_range_f64(indptr, indices, data, x, y, lo, hi);
+    }
+
+    #[inline]
+    fn bcsr_rows(
+        b: usize,
+        nrows: usize,
+        ncols: usize,
+        indptr: &[usize],
+        indices: &[u32],
+        data: &[f64],
+        x: &[f64],
+        y: &mut [f64],
+        ib_lo: usize,
+        ib_hi: usize,
+    ) {
+        crate::kernel::bcsr_rows_f64(b, nrows, ncols, indptr, indices, data, x, y, ib_lo, ib_hi);
     }
 }
 
@@ -141,6 +203,35 @@ impl Scalar for f32 {
     #[inline]
     fn is_finite(self) -> bool {
         f32::is_finite(self)
+    }
+
+    #[inline]
+    fn spmv_range(
+        indptr: &[usize],
+        indices: &[u32],
+        data: &[f32],
+        x: &[f32],
+        y: &mut [f32],
+        lo: usize,
+        hi: usize,
+    ) {
+        crate::kernel::spmv_range_f32(indptr, indices, data, x, y, lo, hi);
+    }
+
+    #[inline]
+    fn bcsr_rows(
+        b: usize,
+        nrows: usize,
+        ncols: usize,
+        indptr: &[usize],
+        indices: &[u32],
+        data: &[f32],
+        x: &[f32],
+        y: &mut [f32],
+        ib_lo: usize,
+        ib_hi: usize,
+    ) {
+        crate::kernel::bcsr_rows_f32(b, nrows, ncols, indptr, indices, data, x, y, ib_lo, ib_hi);
     }
 }
 

@@ -48,12 +48,46 @@ pub fn simd_modes() -> Vec<(&'static str, Option<sass_sparse::kernel::SimdLevel>
     modes
 }
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes and control characters — the classes that would corrupt a
+/// hand-built record).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Replaces (or appends) the line carrying `needle` in the JSON-lines
+/// file at `path` with `rec`, so repeated runs keep exactly one record
+/// per key instead of accumulating duplicates.
+fn upsert_json_line(path: &str, needle: &str, rec: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut out = String::with_capacity(existing.len() + rec.len() + 1);
+    for line in existing.lines().filter(|l| !l.contains(needle)) {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(rec);
+    out.push('\n');
+    std::fs::write(path, out)
+}
+
 /// Prints a `# simd: …` provenance line (detected/active dispatch tier,
 /// arch, compile-time target features, rustc version) and, when
-/// `CRITERION_JSON` is set, appends the same record to the baseline file
-/// as a `{"id":"<group>/provenance", …}` JSON line — so recorded
+/// `CRITERION_JSON` is set, upserts the same record into the baseline
+/// file as a `{"id":"<group>/provenance", …}` JSON line — so recorded
 /// simd-vs-scalar rows carry the toolchain context they were measured
-/// under.
+/// under, without duplicate records piling up across runs.
 pub fn record_simd_provenance(group: &str) {
     use sass_sparse::kernel;
     let rustc = std::process::Command::new("rustc")
@@ -79,22 +113,20 @@ pub fn record_simd_provenance(group: &str) {
          compile_target_features=[{compile_features}] rustc=\"{rustc}\""
     );
     if let Ok(path) = std::env::var("CRITERION_JSON") {
-        use std::io::Write;
+        let id = format!("\"id\":\"{}/provenance\"", json_escape(group));
         let rec = format!(
-            "{{\"id\":\"{group}/provenance\",\"detected\":\"{detected}\",\
+            "{{{id},\"detected\":\"{detected}\",\
              \"active\":\"{active}\",\"arch\":\"{arch}\",\
-             \"compile_target_features\":\"{compile_features}\",\
-             \"rustc\":\"{rustc}\"}}"
+             \"compile_target_features\":\"{features}\",\
+             \"rustc\":\"{rustc}\"}}",
+            detected = json_escape(detected),
+            active = json_escape(active),
+            arch = json_escape(arch),
+            features = json_escape(&compile_features),
+            rustc = json_escape(&rustc),
         );
-        match std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-        {
-            Ok(mut f) => {
-                let _ = writeln!(f, "{rec}");
-            }
-            Err(e) => eprintln!("provenance: could not write {path}: {e}"),
+        if let Err(e) = upsert_json_line(&path, &id, &rec) {
+            eprintln!("provenance: could not write {path}: {e}");
         }
     }
 }
@@ -171,5 +203,38 @@ mod tests {
         assert_eq!(v, 42);
         assert!(fmt_secs(d).ends_with('s'));
         assert_eq!(fmt_mib(1024 * 1024), "1.0M");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape(r#"rustc "nightly""#), r#"rustc \"nightly\""#);
+        assert_eq!(json_escape(r"C:\toolchain"), r"C:\\toolchain");
+        assert_eq!(json_escape("a\nb\t\u{1}"), "a\\nb\\t\\u0001");
+    }
+
+    #[test]
+    fn upsert_json_line_replaces_instead_of_appending() {
+        let path =
+            std::env::temp_dir().join(format!("sass-bench-upsert-{}.jsonl", std::process::id()));
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        std::fs::write(path, "{\"id\":\"other/row\",\"v\":1}\n").unwrap();
+        let needle = "\"id\":\"g/provenance\"";
+        for v in [1, 2] {
+            let rec = format!("{{{needle},\"v\":{v}}}");
+            upsert_json_line(path, needle, &rec).unwrap();
+        }
+        let got = std::fs::read_to_string(path).unwrap();
+        let lines: Vec<&str> = got.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "{\"id\":\"other/row\",\"v\":1}",
+                "{\"id\":\"g/provenance\",\"v\":2}"
+            ],
+            "unrelated rows kept, keyed row overwritten"
+        );
+        let _ = std::fs::remove_file(path);
     }
 }

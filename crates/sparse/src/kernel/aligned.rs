@@ -90,8 +90,13 @@ impl<T: Copy> AlignedVec<T> {
     }
 
     fn layout(cap: usize) -> Layout {
-        Layout::from_size_align(cap * std::mem::size_of::<T>(), ALIGNMENT)
-            .expect("AlignedVec layout overflow")
+        // Checked multiply: the wrapped product would otherwise yield a
+        // tiny allocation followed by out-of-bounds writes (`Vec` guards
+        // the same case).
+        let bytes = cap
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("AlignedVec capacity overflow");
+        Layout::from_size_align(bytes, ALIGNMENT).expect("AlignedVec layout overflow")
     }
 
     /// Grows the allocation to hold at least `cap` elements (never
@@ -273,6 +278,14 @@ mod tests {
         assert_eq!(format!("{:?}", AlignedVec::from_elem(1i32, 2)), "[1, 1]");
         let d: AlignedVec<f64> = AlignedVec::default();
         assert!(d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "AlignedVec capacity overflow")]
+    fn capacity_overflow_panics_instead_of_wrapping() {
+        // cap · size_of::<f64>() wraps in a raw multiply; the checked
+        // layout must panic rather than hand back a tiny allocation.
+        let _ = AlignedVec::<f64>::with_capacity(usize::MAX / 8 + 1);
     }
 
     #[test]

@@ -82,6 +82,21 @@ impl SimdLevel {
             _ => None,
         }
     }
+
+    /// Whether kernels for this tier are compiled into the current build
+    /// (arch + `simd` feature). Forcing a non-compiled tier through
+    /// [`set_level`] would silently dispatch to scalar — e.g. `Avx2` on
+    /// AArch64, or `Neon` on x86-64 — so [`set_level`] rejects it and the
+    /// parity suite uses this to enumerate only distinct compiled tiers.
+    pub fn compiled(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            SimdLevel::Sse2 | SimdLevel::Avx2 => {
+                cfg!(all(feature = "simd", target_arch = "x86_64"))
+            }
+            SimdLevel::Neon => cfg!(all(feature = "simd", target_arch = "aarch64")),
+        }
+    }
 }
 
 /// Sentinel for "no override active" in [`OVERRIDE`].
@@ -148,7 +163,21 @@ pub fn active() -> SimdLevel {
 ///
 /// This is global mutable state, like [`crate::pool::set_threads`]; tests
 /// that use it serialize on a guard mutex.
+///
+/// # Panics
+///
+/// Panics if `level` names a tier whose kernels are not compiled for this
+/// target (see [`SimdLevel::compiled`]) — e.g. [`SimdLevel::Neon`] on
+/// x86-64. Such a level would silently alias the scalar fallback, which
+/// is exactly the ambiguity a forced level exists to rule out.
 pub fn set_level(level: Option<SimdLevel>) {
+    if let Some(l) = level {
+        assert!(
+            l.compiled(),
+            "set_level: {:?} kernels are not compiled for this target",
+            l
+        );
+    }
     OVERRIDE.store(level.map_or(NO_OVERRIDE, |l| l as u8), Ordering::Relaxed);
 }
 
@@ -186,8 +215,12 @@ const GATHER_MAX: usize = i32::MAX as usize;
 ///
 /// # Panics
 ///
-/// Panics (via slice indexing) if the CSR arrays are inconsistent or `y`
-/// is shorter than `hi - lo`.
+/// Panics if the CSR arrays are inconsistent (a row extent past
+/// `indices`/`data`, a column index past `x`) or `y` is shorter than
+/// `hi - lo` — via safe indexing on the scalar/SSE2/NEON tiers, via
+/// per-row validation on the AVX2 gather tier, so the contract is
+/// identical at every level. A non-monotone (empty-range) row
+/// contributes 0, as in the original scalar loop.
 #[allow(clippy::too_many_arguments)]
 pub fn spmv_range_f64(
     indptr: &[usize],
@@ -548,5 +581,25 @@ mod tests {
             assert_eq!(SimdLevel::from_u8(l as u8), Some(l));
         }
         assert!(SimdLevel::Scalar < SimdLevel::Sse2);
+        // Scalar is compiled everywhere; the detected tier must itself be
+        // a compiled tier (detection never names kernels we don't have).
+        assert!(SimdLevel::Scalar.compiled());
+        assert!(detected().compiled());
+        // The x86 and AArch64 tiers are mutually exclusive per build.
+        assert!(!(SimdLevel::Sse2.compiled() && SimdLevel::Neon.compiled()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not compiled for this target")]
+    fn set_level_rejects_uncompiled_tiers() {
+        // One of these two is always foreign to the current target (and
+        // without the `simd` feature both are), so forcing it must fail
+        // loudly instead of silently aliasing scalar.
+        let foreign = if SimdLevel::Neon.compiled() {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Neon
+        };
+        set_level(Some(foreign));
     }
 }

@@ -31,6 +31,13 @@ pub(super) unsafe fn spmv_range_f32_neon(
 ) {
     for i in lo..hi {
         let (s, e) = (indptr[i], indptr[i + 1]);
+        // Scalar-oracle semantics: an empty (or non-monotone, hence
+        // empty-range) row contributes 0 instead of panicking on the
+        // reversed slice.
+        if s >= e {
+            y[i - lo] = 0.0;
+            continue;
+        }
         let row_idx = &indices[s..e];
         let row_val = &data[s..e];
         let nnz = row_val.len();

@@ -71,6 +71,13 @@ pub(super) unsafe fn spmv_range_f32_sse2(
 ) {
     for i in lo..hi {
         let (s, e) = (indptr[i], indptr[i + 1]);
+        // Scalar-oracle semantics: an empty (or non-monotone, hence
+        // empty-range) row contributes 0 instead of panicking on the
+        // reversed slice.
+        if s >= e {
+            y[i - lo] = 0.0;
+            continue;
+        }
         let row_idx = &indices[s..e];
         let row_val = &data[s..e];
         let nnz = row_val.len();
@@ -121,6 +128,15 @@ pub(super) unsafe fn spmv_range_f32_sse2(
 /// AVX2 f32 SpMV over rows `lo..hi`: 8-wide gathered accumulation with a
 /// **masked** ragged tail, so even 7–9-entry mesh rows run vectorized
 /// (toleranced; reassociates the row sum).
+///
+/// The gather path reads through raw pointers, so the whole row range is
+/// validated in one hoisted prescan (monotone `indptr` with extents
+/// inside `indices`/`data`, every touched column index inside `x` — both
+/// checks autovectorize, so the hot loop itself carries no per-row
+/// validation cost). Anything malformed is routed to the scalar oracle
+/// instead, which reproduces the safe tiers' exact semantics — panic via
+/// indexing, or empty-range rows contributing 0 — so the dispatcher's
+/// safe-API contract is identical at every tier.
 #[cfg(feature = "storage-f32")]
 #[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx2")]
@@ -133,6 +149,26 @@ pub(super) unsafe fn spmv_range_f32_avx2(
     lo: usize,
     hi: usize,
 ) {
+    if lo >= hi {
+        return;
+    }
+    // For monotone indptr the union of row ranges is exactly
+    // [indptr[lo], indptr[hi]), so the max-reduction below checks
+    // precisely the gather indices the hot loop will touch.
+    let valid = hi < indptr.len()
+        && indptr[lo..=hi].windows(2).all(|w| w[0] <= w[1])
+        && indptr[hi] <= indices.len()
+        && indptr[hi] <= data.len()
+        && {
+            let mut max_c = 0u32;
+            for &c in &indices[indptr[lo]..indptr[hi]] {
+                max_c = max_c.max(c);
+            }
+            (max_c as usize) < x.len() || indptr[lo] == indptr[hi]
+        };
+    if !valid {
+        return super::scalar::spmv_range(indptr, indices, data, x, y, lo, hi);
+    }
     let zero = _mm256_setzero_ps();
     let lane_ids = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
     for i in lo..hi {
@@ -149,7 +185,9 @@ pub(super) unsafe fn spmv_range_f32_avx2(
         }
         if t < nnz {
             // Masked tail: inactive lanes load index 0 / value 0.0 and are
-            // excluded from the gather, contributing an exact +0.0.
+            // excluded from the gather, contributing an exact +0.0 (masked
+            // lanes of maskload/gather never touch memory, so the loads
+            // stay confined to the validated range).
             let mask = _mm256_cmpgt_epi32(_mm256_set1_epi32((nnz - t) as i32), lane_ids);
             let idx = _mm256_maskload_epi32(indices.as_ptr().add(s + t).cast::<i32>(), mask);
             let v = _mm256_maskload_ps(data.as_ptr().add(s + t), mask);

@@ -20,6 +20,13 @@
 use proptest::prelude::*;
 use sass_sparse::kernel::{self, SimdLevel};
 use sass_sparse::ordering::OrderingKind;
+// Without `parallel`, the inherent `par_mul_vec_into` methods don't
+// exist; the `SparseBackend` trait supplies an inline serial fallback, so
+// the worker sweeps compile in the `--no-default-features` CI lanes too.
+// (With `parallel` on, the inherent methods shadow the trait and the
+// import would be unused.)
+#[cfg(not(feature = "parallel"))]
+use sass_sparse::SparseBackend;
 use sass_sparse::{pool, BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DenseBlock, LdlFactor};
 
 /// Serializes tests that override the global SIMD level or the global
@@ -32,9 +39,11 @@ fn state_guard() -> std::sync::MutexGuard<'static, ()> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Every level this process can actually run: `set_level` clamps to the
-/// detected tier, so anything above it would silently alias the detected
-/// level instead of testing a distinct kernel.
+/// Every level this process can actually run: only tiers whose kernels
+/// are compiled for this target (`set_level` rejects the rest), at or
+/// below the detected tier (`set_level` clamps above it) — anything else
+/// would silently alias another level instead of testing a distinct
+/// kernel.
 fn levels() -> Vec<SimdLevel> {
     [
         SimdLevel::Scalar,
@@ -43,7 +52,7 @@ fn levels() -> Vec<SimdLevel> {
         SimdLevel::Neon,
     ]
     .into_iter()
-    .filter(|&l| l <= kernel::detected())
+    .filter(|&l| l.compiled() && l <= kernel::detected())
     .collect()
 }
 
@@ -306,6 +315,8 @@ fn sass_no_simd_env_is_respected() {
 #[cfg(feature = "storage-f32")]
 mod f32_tolerance {
     use super::*;
+    // `from_csr_f64` is a `SparseBackend` method, needed here regardless
+    // of the `parallel`-gated import above.
     use sass_sparse::{Scalar, SparseBackend};
 
     /// Per-row single-precision check: `got` tracks the f64 reference
@@ -360,6 +371,33 @@ mod f32_tolerance {
                     pool::set_threads(0);
                 }
             }
+            kernel::set_level(None);
+        }
+    }
+
+    /// Inconsistent CSR arrays behave identically at every tier — the
+    /// gather tier validates per row, the others panic via safe indexing
+    /// — so no level turns a malformed matrix into out-of-bounds reads:
+    /// a non-monotone (empty-range) row contributes 0 like the scalar
+    /// loop, and extents/columns out of range panic.
+    #[test]
+    fn f32_spmv_inconsistent_inputs_match_scalar_at_every_level() {
+        let _guard = state_guard();
+        for level in levels() {
+            kernel::set_level(Some(level));
+            let mut y = vec![-1.0f32; 2];
+            kernel::spmv_range_f32(&[4, 0, 4], &[0; 4], &[1.0; 4], &[1.0; 4], &mut y, 0, 2);
+            assert_eq!(y, [0.0, 4.0], "{level:?} non-monotone row is empty");
+            let extent = std::panic::catch_unwind(|| {
+                let mut y = vec![0.0f32; 1];
+                kernel::spmv_range_f32(&[0, 9], &[0, 1], &[1.0; 2], &[1.0; 4], &mut y, 0, 1);
+            });
+            assert!(extent.is_err(), "{level:?} indptr past indices/data");
+            let column = std::panic::catch_unwind(|| {
+                let mut y = vec![0.0f32; 1];
+                kernel::spmv_range_f32(&[0, 2], &[0, 9], &[1.0; 2], &[1.0; 2], &mut y, 0, 1);
+            });
+            assert!(column.is_err(), "{level:?} column index past x");
             kernel::set_level(None);
         }
     }

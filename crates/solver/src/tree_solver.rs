@@ -52,7 +52,9 @@ impl TreeSolver {
         for v in 0..n {
             if let Some(p) = tree.parent(v) {
                 parent[v] = p as u32;
-                let id = tree.parent_edge(v).expect("non-root has a parent edge");
+                let Some(id) = tree.parent_edge(v) else {
+                    unreachable!("vertex {v} has a parent but no parent edge");
+                };
                 parent_weight[v] = g.edge(id as usize).weight;
             }
         }

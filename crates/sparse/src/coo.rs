@@ -71,8 +71,12 @@ impl CooMatrix {
     /// Panics if `row` or `col` is out of bounds. Use [`CooMatrix::try_push`]
     /// for a fallible variant.
     pub fn push(&mut self, row: usize, col: usize, val: f64) {
-        self.try_push(row, col, val)
-            .expect("coo index out of bounds");
+        if self.try_push(row, col, val).is_err() {
+            panic!(
+                "coo index out of bounds: ({row}, {col}) outside {} x {}",
+                self.nrows, self.ncols
+            );
+        }
     }
 
     /// Appends the triplet `(row, col, val)`.

@@ -57,11 +57,7 @@ impl<S: Scalar> CsrMatrix<S> {
     ) -> Self {
         assert_eq!(indptr.len(), nrows + 1, "indptr length must be nrows + 1");
         assert_eq!(indices.len(), data.len(), "indices/data length mismatch");
-        assert_eq!(
-            *indptr.last().unwrap(),
-            indices.len(),
-            "indptr end mismatch"
-        );
+        assert_eq!(indptr[nrows], indices.len(), "indptr end mismatch");
         assert!(
             indptr.windows(2).all(|w| w[0] <= w[1]),
             "indptr not monotone"

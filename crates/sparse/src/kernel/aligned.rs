@@ -92,11 +92,16 @@ impl<T: Copy> AlignedVec<T> {
     fn layout(cap: usize) -> Layout {
         // Checked multiply: the wrapped product would otherwise yield a
         // tiny allocation followed by out-of-bounds writes (`Vec` guards
-        // the same case).
-        let bytes = cap
-            .checked_mul(std::mem::size_of::<T>())
-            .expect("AlignedVec capacity overflow");
-        Layout::from_size_align(bytes, ALIGNMENT).expect("AlignedVec layout overflow")
+        // the same case). Both failures are documented panics, not
+        // recoverable errors — allocation-size overflow has no caller
+        // that could do anything but abort the construction.
+        let Some(bytes) = cap.checked_mul(std::mem::size_of::<T>()) else {
+            panic!("AlignedVec capacity overflow: {cap} elements");
+        };
+        match Layout::from_size_align(bytes, ALIGNMENT) {
+            Ok(layout) => layout,
+            Err(_) => panic!("AlignedVec layout overflow: {bytes} bytes"),
+        }
     }
 
     /// Grows the allocation to hold at least `cap` elements (never

@@ -111,10 +111,11 @@ static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
 
 #[cfg(feature = "simd")]
 fn detect() -> SimdLevel {
-    // The env escape hatch is consulted exactly once, here: flipping the
-    // variable after the first kernel call has no effect (tests use
-    // `set_level` for in-process A/B instead).
-    if std::env::var_os("SASS_NO_SIMD").is_some_and(|v| !v.is_empty() && v != "0") {
+    // The env escape hatch goes through `config::no_simd` (read once,
+    // malformed values panic there): flipping the variable after the
+    // first kernel call has no effect (tests use `set_level` for
+    // in-process A/B instead).
+    if crate::config::no_simd() {
         return SimdLevel::Scalar;
     }
     #[cfg(target_arch = "x86_64")]

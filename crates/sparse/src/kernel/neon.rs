@@ -18,6 +18,15 @@ use core::arch::aarch64::*;
 
 /// NEON f32 SpMV over rows `lo..hi`: 4-wide accumulation with a scalar
 /// tail (toleranced; reassociates the row sum).
+///
+/// # Safety
+///
+/// Nothing beyond the dispatcher contract: NEON is architectural on
+/// AArch64, gathers index `x` through bounds-checked slices, and the raw
+/// row loads are guarded by the `t + 4 <= nnz` loop bound over the row's
+/// own sub-slice — malformed inputs panic exactly like the scalar
+/// oracle. The `unsafe` marker only keeps one signature across the
+/// kernel tiers.
 #[cfg(feature = "storage-f32")]
 #[allow(clippy::too_many_arguments)]
 pub(super) unsafe fn spmv_range_f32_neon(

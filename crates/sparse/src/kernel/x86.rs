@@ -58,6 +58,15 @@ use core::arch::x86_64::*;
 
 /// SSE2 f32 SpMV over rows `lo..hi`: 4-wide dual accumulators with a
 /// scalar tail (toleranced; reassociates the row sum).
+///
+/// # Safety
+///
+/// Nothing beyond the dispatcher contract: SSE2 is the x86-64 baseline,
+/// gathers index `x` through bounds-checked slices, and the raw row
+/// loads are guarded by the `t + width <= nnz` loop bounds over the
+/// row's own sub-slice — malformed inputs panic exactly like the scalar
+/// oracle. The `unsafe` marker only keeps one signature across the
+/// kernel tiers.
 #[cfg(feature = "storage-f32")]
 #[allow(clippy::too_many_arguments)]
 pub(super) unsafe fn spmv_range_f32_sse2(
@@ -137,6 +146,13 @@ pub(super) unsafe fn spmv_range_f32_sse2(
 /// instead, which reproduces the safe tiers' exact semantics — panic via
 /// indexing, or empty-range rows contributing 0 — so the dispatcher's
 /// safe-API contract is identical at every tier.
+///
+/// # Safety
+///
+/// AVX2 must be runtime-detected (the dispatcher's `SimdLevel::Avx2` arm
+/// guarantees it), and the caller must run the hoisted prescan described
+/// above before entering — the raw gathers stay in bounds only for
+/// validated `indptr`/`indices` against `data`/`x` extents.
 #[cfg(feature = "storage-f32")]
 #[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx2")]
@@ -208,6 +224,12 @@ pub(super) unsafe fn spmv_range_f32_avx2(
 
 /// SSE2 f64 2×2 BCSR block-row kernel: tiles register-transposed so each
 /// accumulator lane adds columns in the scalar order (bit-exact).
+///
+/// # Safety
+///
+/// Nothing beyond the dispatcher contract: SSE2 is the x86-64 baseline
+/// and the block structure is walked through bounds-checked slices, so
+/// inconsistent arrays panic as in the scalar tile loop.
 #[allow(clippy::too_many_arguments)]
 pub(super) unsafe fn bcsr2_f64_sse2(
     nrows: usize,
@@ -252,6 +274,13 @@ pub(super) unsafe fn bcsr2_f64_sse2(
 
 /// AVX2 f64 4×4 BCSR block-row kernel: tiles transposed with
 /// `unpacklo/hi_pd` + `permute2f128_pd` (bit-exact).
+///
+/// # Safety
+///
+/// AVX2 must be runtime-detected (the dispatcher's `SimdLevel::Avx2` arm
+/// guarantees it); the block structure itself is walked through
+/// bounds-checked slices, so inconsistent arrays panic as in the scalar
+/// tile loop.
 #[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn bcsr4_f64_avx2(
@@ -313,6 +342,12 @@ pub(super) unsafe fn bcsr4_f64_avx2(
 /// SSE f32 4×4 BCSR block-row kernel. A 4×4 f32 tile row is one 128-bit
 /// register, so the transposed form adds columns in the exact scalar
 /// order — this f32 kernel happens to be bit-exact too.
+///
+/// # Safety
+///
+/// Nothing beyond the dispatcher contract: SSE2 is the x86-64 baseline
+/// and the block structure is walked through bounds-checked slices, so
+/// inconsistent arrays panic as in the scalar tile loop.
 #[cfg(feature = "storage-f32")]
 #[allow(clippy::too_many_arguments)]
 pub(super) unsafe fn bcsr4_f32_sse2(

@@ -347,8 +347,10 @@ fn numeric_phase(
             // column's numeric cost well enough to balance skewed levels.
             wprefix.clear();
             wprefix.push(0);
+            let mut acc = 0usize;
             for &k in cols {
-                wprefix.push(wprefix.last().unwrap() + rnz[k as usize] + 1);
+                acc += rnz[k as usize] + 1;
+                wprefix.push(acc);
             }
             let spans = pool::balanced_spans(&wprefix, lanes_here);
             p.parallel_for_with_scratch(&spans, &mut scratches, |_, (lo, hi), s| {
@@ -366,6 +368,9 @@ fn numeric_phase(
             // sweep's stopping point bit for bit.
             for &k in cols {
                 let k = k as usize;
+                // SAFETY: k < n is one of this level's columns and the
+                // dispatch above has joined, so d[k] is initialized and
+                // no claimant still writes it.
                 let dk = unsafe { *ctx.d.get().add(k) };
                 if dk == 0.0 || !dk.is_finite() {
                     return Err(k);
@@ -834,11 +839,10 @@ impl LdlFactor {
             }
             return;
         }
-        // SAFETY: a level's columns are pairwise distinct, so each
-        // claimant writes only its own y[j]; levels barrier between
-        // dispatches, so every cross-level read sees finalized values.
-        // Each y[j] is produced by the same operation sequence reading
-        // the same inputs as the serial sweep, whichever lane runs it.
+        // SAFETY: a level's columns are pairwise distinct (each claimant
+        // writes only its own y[j]), levels barrier between dispatches so
+        // cross-level reads see finalized values, and each y[j] runs the
+        // serial sweep's operation sequence whichever lane claims it.
         self.drive_levels(
             workers,
             &|j| unsafe { self.forward_row(j, &yp) },

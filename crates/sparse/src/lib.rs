@@ -68,6 +68,7 @@
 pub mod backend;
 mod bcsr;
 mod block;
+pub mod config;
 mod coo;
 mod csc;
 mod csr;

@@ -252,7 +252,11 @@ pub fn write_symmetric<W: Write>(a: &CsrMatrix, mut writer: W) -> Result<()> {
 pub fn write_string(a: &CsrMatrix) -> Result<String> {
     let mut out = Vec::new();
     write(a, &mut out)?;
-    Ok(String::from_utf8(out).expect("matrix market output is ASCII"))
+    match String::from_utf8(out) {
+        Ok(s) => Ok(s),
+        // `write` emits only ASCII digits, signs, exponents, and spaces.
+        Err(_) => unreachable!("matrix market output is ASCII"),
+    }
 }
 
 /// Writes a matrix to a file path.

@@ -112,7 +112,10 @@ fn pseudo_peripheral(
     for _ in 0..8 {
         *mark_base += 1;
         let order = bfs_levels(a, u, stamp, allowed, level, visited, *mark_base);
-        let last_level = level[*order.last().unwrap()];
+        let Some(&farthest) = order.last() else {
+            unreachable!("bfs order contains at least the start node");
+        };
+        let last_level = level[farthest];
         if last_level <= ecc {
             return u;
         }
@@ -123,7 +126,10 @@ fn pseudo_peripheral(
             .copied()
             .filter(|&v| level[v] == last_level)
             .collect();
-        u = far.into_iter().min_by_key(|&v| deg[v]).unwrap();
+        u = far
+            .into_iter()
+            .min_by_key(|&v| deg[v])
+            .unwrap_or_else(|| unreachable!("the farthest bfs level is nonempty"));
     }
     u
 }
@@ -217,7 +223,10 @@ fn min_degree_order(a: &CsrMatrix) -> Vec<usize> {
                 cursor += 1;
             }
             debug_assert!(cursor < buckets.len(), "bucket queue exhausted early");
-            let cand = buckets[cursor].pop().unwrap() as usize;
+            let Some(cand) = buckets[cursor].pop() else {
+                unreachable!("bucket {cursor} is nonempty after the skip loop");
+            };
+            let cand = cand as usize;
             if alive[cand] && degree[cand] == cursor {
                 break cand;
             }
@@ -366,7 +375,10 @@ fn nested_dissection_order(a: &CsrMatrix) -> Vec<usize> {
             );
             mark += 1;
             let bfs = bfs_levels(a, start, &region, rid, &mut level, &mut visited, mark);
-            let depth = level[*bfs.last().unwrap()];
+            let Some(&deepest) = bfs.last() else {
+                unreachable!("bfs order contains at least the start node");
+            };
+            let depth = level[deepest];
             if depth < 2 {
                 order.extend(bfs);
                 continue;

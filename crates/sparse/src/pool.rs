@@ -62,8 +62,31 @@
 //! on the caller.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+
+/// Locks `m`, recovering the guard from a poisoned mutex.
+///
+/// Poison recovery is sound for every mutex in this module: the guarded
+/// critical sections only perform unwind-atomic updates (counter bumps,
+/// `Option`/`Vec` stores), and user-closure panics are caught in
+/// [`Job::work`] before they can reach pool internals — a poison flag here
+/// can only come from a thread that died in unrelated code while holding
+/// the lock, never from a half-applied pool update.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Condvar wait with the same poison-recovery argument as [`lock`].
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// A contiguous half-open index range `[lo, hi)` — the unit of work
 /// handed to pool closures.
@@ -117,10 +140,10 @@ impl Job {
             let result =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*self.f)(i) }));
             if let Err(payload) = result {
-                let mut slot = self.panic.lock().unwrap();
+                let mut slot = lock(&self.panic);
                 slot.get_or_insert(payload);
             }
-            let mut done = self.done.lock().unwrap();
+            let mut done = lock(&self.done);
             *done += 1;
             if *done == self.n_items {
                 self.done_cv.notify_all();
@@ -146,7 +169,7 @@ fn worker_loop(inner: &Inner) {
     let mut last_epoch = 0u64;
     loop {
         let job = {
-            let mut st = inner.state.lock().unwrap();
+            let mut st = lock(&inner.state);
             loop {
                 if st.shutdown {
                     return;
@@ -155,7 +178,7 @@ fn worker_loop(inner: &Inner) {
                     last_epoch = st.epoch;
                     break st.job.clone();
                 }
-                st = inner.wake.wait(st).unwrap();
+                st = wait(&inner.wake, st);
             }
         };
         if let Some(job) = job {
@@ -201,18 +224,13 @@ static GLOBAL: OnceLock<Pool> = OnceLock::new();
 impl Pool {
     /// The process-wide pool, created on first use.
     ///
-    /// Sizing honors the `SASS_THREADS` environment variable (read once,
-    /// here): a value ≥ 1 becomes a standing override, anything else
-    /// falls back to `available_parallelism`.
+    /// Sizing honors the `SASS_THREADS` environment variable via
+    /// [`crate::config::threads_override`] (read once): a value ≥ 1
+    /// becomes a standing override, `0`/unset falls back to
+    /// `available_parallelism`, and garbage panics there instead of being
+    /// silently ignored.
     pub fn global() -> &'static Pool {
-        GLOBAL.get_or_init(|| {
-            let env = std::env::var("SASS_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&k| k >= 1)
-                .unwrap_or(0);
-            Pool::with_threads(env)
-        })
+        GLOBAL.get_or_init(|| Pool::with_threads(crate::config::threads_override().unwrap_or(0)))
     }
 
     /// A private pool with an explicit lane count (`0` = automatic).
@@ -289,7 +307,7 @@ impl Pool {
     /// this count (the pool-reuse test pins that down). A pool that has
     /// only ever run serially reports 0.
     pub fn worker_count(&self) -> usize {
-        self.handles.lock().unwrap().len()
+        lock(&self.handles).len()
     }
 
     /// Picks a worker count for a kernel over `items` units of work.
@@ -316,7 +334,7 @@ impl Pool {
 
     /// Makes sure at least `k` worker threads exist.
     fn ensure_spawned(&self, k: usize) {
-        let mut handles = self.handles.lock().unwrap();
+        let mut handles = lock(&self.handles);
         while handles.len() < k {
             let inner = Arc::clone(&self.inner);
             let name = format!("sass-pool-{}", handles.len());
@@ -346,7 +364,7 @@ impl Pool {
             return;
         }
         self.ensure_spawned(lanes - 1);
-        // SAFETY (lifetime erasure): `job.f` escapes `f`'s lifetime, but
+        // SAFETY: lifetime erasure — `job.f` escapes `f`'s lifetime, but
         // this frame blocks below until `done == n_items`, i.e. until the
         // last closure call has returned; afterwards the claim counter is
         // exhausted, so a late-waking worker can observe the stale `Job`
@@ -360,7 +378,7 @@ impl Pool {
             panic: Mutex::new(None),
         });
         {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = lock(&self.inner.state);
             st.epoch += 1;
             st.job = Some(Arc::clone(&job));
         }
@@ -371,15 +389,15 @@ impl Pool {
         // Participate: the caller drains spans alongside the workers, so
         // the dispatch completes even if no worker gets scheduled.
         job.work();
-        let mut done = job.done.lock().unwrap();
+        let mut done = lock(&job.done);
         while *done < n_items {
-            done = job.done_cv.wait(done).unwrap();
+            done = wait(&job.done_cv, done);
         }
         drop(done);
         // Every closure call has finished; only now is it safe to unwind
         // out of this frame. Re-raise the first caught panic, preserving
         // the scoped-spawn backend's panics-propagate contract.
-        let payload = job.panic.lock().unwrap().take();
+        let payload = lock(&job.panic).take();
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
         }
@@ -396,7 +414,15 @@ impl Pool {
     where
         F: Fn(usize, Span) + Sync,
     {
-        self.run_erased(spans.len(), &|i| f(i, spans[i]));
+        #[cfg(feature = "race-check")]
+        let tracker = shadow::SpanTracker::new("parallel_for_spans", spans, None, true);
+        self.run_erased(spans.len(), &|i| {
+            #[cfg(feature = "race-check")]
+            tracker.record(i);
+            f(i, spans[i]);
+        });
+        #[cfg(feature = "race-check")]
+        tracker.verify();
     }
 
     /// Maps every span to a value and folds the values **in span order**
@@ -413,12 +439,30 @@ impl Pool {
         R: FnMut(T, T) -> T,
     {
         let slots: Vec<Mutex<Option<T>>> = spans.iter().map(|_| Mutex::new(None)).collect();
+        // Reductions may legally read overlapping spans, so the shadow
+        // tracker only checks that each span is claimed exactly once.
+        #[cfg(feature = "race-check")]
+        let tracker = shadow::SpanTracker::new("parallel_reduce", spans, None, false);
         self.run_erased(spans.len(), &|i| {
-            *slots[i].lock().unwrap() = Some(map(i, spans[i]));
+            #[cfg(feature = "race-check")]
+            tracker.record(i);
+            // Run the map outside the slot lock: a panicking map must not
+            // poison its slot, it is caught and re-raised by the dispatch.
+            let v = map(i, spans[i]);
+            *lock(&slots[i]) = Some(v);
         });
+        #[cfg(feature = "race-check")]
+        tracker.verify();
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().unwrap().expect("span not mapped"))
+            .map(|slot| {
+                let v = slot
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                // A normal return from run_erased means every item index
+                // was claimed and its closure call finished.
+                v.unwrap_or_else(|| unreachable!("parallel_reduce: span left unmapped"))
+            })
             .reduce(&mut reduce)
     }
 
@@ -446,7 +490,12 @@ impl Pool {
             prev = hi;
         }
         let base = SendPtr(out.as_mut_ptr());
+        #[cfg(feature = "race-check")]
+        let tracker =
+            shadow::SpanTracker::new("parallel_for_disjoint_mut", spans, Some(out.len()), true);
         self.run_erased(spans.len(), &|i| {
+            #[cfg(feature = "race-check")]
+            tracker.record(i);
             let (lo, hi) = spans[i];
             // SAFETY: spans are validated disjoint and in-bounds above, so
             // every chunk is an exclusive sub-slice of `out`, and `out` is
@@ -454,6 +503,8 @@ impl Pool {
             let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
             f(i, chunk);
         });
+        #[cfg(feature = "race-check")]
+        tracker.verify();
     }
 
     /// Runs `f(span_index, span, &mut scratch[span_index])` for every span
@@ -481,25 +532,162 @@ impl Pool {
             spans.len()
         );
         let base = SendPtr(scratch.as_mut_ptr());
+        // Spans here usually index caller state the closure writes through
+        // (the LDLᵀ sweeps), and this entry point has no upfront span
+        // validation — so the shadow tracker checks disjointness too.
+        #[cfg(feature = "race-check")]
+        let tracker = shadow::SpanTracker::new("parallel_for_with_scratch", spans, None, true);
         self.run_erased(spans.len(), &|i| {
+            #[cfg(feature = "race-check")]
+            tracker.record(i);
             // SAFETY: slot `i` belongs to span `i` alone — every item index
             // is claimed exactly once — and `scratch` stays mutably
             // borrowed for the whole (blocking) dispatch.
             let slot = unsafe { &mut *base.get().add(i) };
             f(i, spans[i], slot);
         });
+        #[cfg(feature = "race-check")]
+        tracker.verify();
     }
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = lock(&self.inner.state);
             st.shutdown = true;
             self.inner.wake.notify_all();
         }
-        for h in self.handles.lock().unwrap().drain(..) {
+        for h in lock(&self.handles).drain(..) {
             let _ = h.join();
+        }
+    }
+}
+
+/// Shadow write-set tracking behind the `race-check` feature: the pool
+/// becomes its own race detector. Every dispatch records which span each
+/// claimant received (at claim time, *before* the user closure runs, so
+/// coverage holds even when a span panics), and the join asserts the
+/// claims form exactly one claimant per span and — for writing dispatch
+/// shapes — pairwise-disjoint index ranges. The recording cost is one
+/// mutex push per span, which is noise next to the work a span carries;
+/// panic and ordering semantics are unchanged because a re-raised closure
+/// panic unwinds out of the dispatch before verification runs.
+#[cfg(feature = "race-check")]
+mod shadow {
+    use super::Span;
+    use std::sync::Mutex;
+
+    /// One handed-out span: its index, its range, and the thread that
+    /// claimed it (for the diagnostic).
+    struct Claim {
+        index: usize,
+        span: Span,
+        thread: String,
+    }
+
+    pub(super) struct SpanTracker<'a> {
+        what: &'static str,
+        spans: &'a [Span],
+        /// Output length when the dispatch writes a caller slice; claimed
+        /// spans must stay within it.
+        bound: Option<usize>,
+        /// Writing dispatches require pairwise-disjoint spans; reductions
+        /// may legally read overlapping ranges, so they skip this.
+        check_overlap: bool,
+        claims: Mutex<Vec<Claim>>,
+    }
+
+    impl<'a> SpanTracker<'a> {
+        pub(super) fn new(
+            what: &'static str,
+            spans: &'a [Span],
+            bound: Option<usize>,
+            check_overlap: bool,
+        ) -> Self {
+            SpanTracker {
+                what,
+                spans,
+                bound,
+                check_overlap,
+                claims: Mutex::new(Vec::with_capacity(spans.len())),
+            }
+        }
+
+        /// Records span `i` being handed to the current thread.
+        pub(super) fn record(&self, i: usize) {
+            let claim = Claim {
+                index: i,
+                span: self.spans[i],
+                thread: std::thread::current()
+                    .name()
+                    .unwrap_or("dispatcher")
+                    .to_string(),
+            };
+            super::lock(&self.claims).push(claim);
+        }
+
+        /// Join-time verification: exact coverage, in-bounds writes,
+        /// pairwise disjointness.
+        pub(super) fn verify(self) {
+            let mut claims = self
+                .claims
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut seen = vec![0usize; self.spans.len()];
+            for c in &claims {
+                seen[c.index] += 1;
+            }
+            for (i, &count) in seen.iter().enumerate() {
+                assert!(
+                    count == 1,
+                    "race-check: {}: span {} [{}, {}) claimed {} times \
+                     (exactly one claimant per span required)",
+                    self.what,
+                    i,
+                    self.spans[i].0,
+                    self.spans[i].1,
+                    count
+                );
+            }
+            if let Some(n) = self.bound {
+                for c in &claims {
+                    assert!(
+                        c.span.0 <= c.span.1 && c.span.1 <= n,
+                        "race-check: {}: span {} [{}, {}) (thread {}) escapes output of len {}",
+                        self.what,
+                        c.index,
+                        c.span.0,
+                        c.span.1,
+                        c.thread,
+                        n
+                    );
+                }
+            }
+            if self.check_overlap {
+                // Sorted by lower bound, pairwise disjointness reduces to
+                // every adjacent pair being disjoint (if a non-adjacent
+                // pair overlapped, one of the adjacent pairs between them
+                // would too).
+                claims.sort_by_key(|c| (c.span.0, c.span.1));
+                for w in claims.windows(2) {
+                    let (a, b) = (&w[0], &w[1]);
+                    assert!(
+                        a.span.1 <= b.span.0 || a.span.0 == a.span.1 || b.span.0 == b.span.1,
+                        "race-check: {}: span {} [{}, {}) (thread {}) overlaps \
+                         span {} [{}, {}) (thread {})",
+                        self.what,
+                        a.index,
+                        a.span.0,
+                        a.span.1,
+                        a.thread,
+                        b.index,
+                        b.span.0,
+                        b.span.1,
+                        b.thread
+                    );
+                }
+            }
         }
     }
 }
@@ -549,6 +737,26 @@ pub fn scale_spans(spans: &[Span], stride: usize) -> Vec<Span> {
         .collect()
 }
 
+/// Debug/race-check oracle for the span builders: their output must be
+/// monotone, gap-free, nonempty per span, and cover exactly `0..n`. A
+/// violation here would silently drop or double-visit items in every
+/// kernel that splits work with these helpers.
+#[cfg(any(debug_assertions, feature = "race-check"))]
+fn assert_covering_spans(spans: &[Span], n: usize, what: &str) {
+    let mut next = 0usize;
+    for &(lo, hi) in spans {
+        assert!(
+            lo == next && lo < hi,
+            "{what}: span ({lo}, {hi}) breaks monotone gap-free coverage at {next}"
+        );
+        next = hi;
+    }
+    assert!(next == n, "{what}: spans cover 0..{next}, expected 0..{n}");
+}
+
+#[cfg(not(any(debug_assertions, feature = "race-check")))]
+fn assert_covering_spans(_spans: &[Span], _n: usize, _what: &str) {}
+
 /// Splits `0..n` into at most `k` equal-length contiguous spans, never
 /// emitting an empty span (so `n < k` yields `n` one-element spans, and
 /// `n = 0` yields none).
@@ -566,6 +774,7 @@ pub fn even_spans(n: usize, k: usize) -> Vec<Span> {
             lo = hi;
         }
     }
+    assert_covering_spans(&spans, n, "even_spans");
     spans
 }
 
@@ -603,6 +812,7 @@ pub fn balanced_spans(prefix: &[usize], k: usize) -> Vec<Span> {
     if lo < n {
         spans.push((lo, n));
     }
+    assert_covering_spans(&spans, n, "balanced_spans");
     spans
 }
 

@@ -296,7 +296,9 @@ fn ragged_and_empty_rows_bitwise_across_levels() {
 /// to prove the forced-scalar path end to end.
 #[test]
 fn sass_no_simd_env_is_respected() {
-    let forced = std::env::var_os("SASS_NO_SIMD").is_some_and(|v| !v.is_empty() && v != "0");
+    // The sanctioned read path: kernel::detect consults the same cached
+    // config::no_simd value, so the two can never disagree mid-process.
+    let forced = sass_sparse::config::no_simd();
     if forced || !cfg!(feature = "simd") {
         assert_eq!(kernel::detected(), SimdLevel::Scalar);
         assert_eq!(levels(), vec![SimdLevel::Scalar]);

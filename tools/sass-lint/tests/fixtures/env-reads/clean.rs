@@ -1,0 +1,7 @@
+// Fixture: no environment access (the string below is masked, not code)
+// passes `env-reads`.
+pub fn threads() -> usize {
+    let docs = "configure via std::env::var(\"SASS_THREADS\") elsewhere";
+    let _ = docs;
+    1
+}

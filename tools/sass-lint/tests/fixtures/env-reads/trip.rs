@@ -1,0 +1,8 @@
+// Fixture: an environment read outside the sanctioned sites must trip
+// `env-reads`.
+pub fn threads() -> usize {
+    std::env::var("SASS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}

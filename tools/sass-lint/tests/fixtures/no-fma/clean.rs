@@ -1,0 +1,8 @@
+// Fixture: separate rounded multiply and add passes `no-fma`; the
+// banned names appearing in comments ("mul_add", "vfmaq_f64") or strings
+// must not count.
+pub fn unfused(a: f64, b: f64, c: f64) -> f64 {
+    let doc = "never call mul_add here";
+    let _ = doc;
+    a * b + c
+}

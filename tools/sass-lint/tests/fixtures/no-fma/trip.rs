@@ -1,0 +1,4 @@
+// Fixture: every FMA spelling must trip `no-fma`.
+pub fn fused(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c)
+}

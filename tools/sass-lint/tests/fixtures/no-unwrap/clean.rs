@@ -1,0 +1,15 @@
+// Fixture: fallible return in library code, unwrap confined to the
+// cfg(test) module — both must pass `no-unwrap`.
+pub fn first(xs: &[u8]) -> Option<u8> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first(&[3]).unwrap(), 3);
+        let named: Option<u8> = Some(7);
+        assert_eq!(named.expect("test expectation"), 7);
+    }
+}

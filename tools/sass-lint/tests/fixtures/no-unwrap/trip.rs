@@ -1,0 +1,4 @@
+// Fixture: `.unwrap()` in library code must trip `no-unwrap`.
+pub fn first(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}

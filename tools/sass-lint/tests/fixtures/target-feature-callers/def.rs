@@ -1,0 +1,8 @@
+// Fixture: defines a #[target_feature] function; callers elsewhere must
+// go through the configured dispatch file.
+#[target_feature(enable = "avx2")]
+pub unsafe fn kernel_avx2(x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v += 1.0;
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: the configured dispatch file may call the #[target_feature]
+// fn — this is where runtime detection lives.
+pub fn dispatch(x: &mut [f64]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        unsafe { kernel_avx2(x) }
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: calling a #[target_feature] fn outside the dispatch file must
+// trip `target-feature-callers` — nothing here proves avx2 is available.
+pub fn call_without_detection(x: &mut [f64]) {
+    unsafe { kernel_avx2(x) }
+}

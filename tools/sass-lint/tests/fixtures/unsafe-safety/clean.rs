@@ -1,0 +1,13 @@
+// Fixture: a documented unsafe block passes `unsafe-safety`.
+pub fn read_first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: nonempty checked above, so the first element exists.
+    unsafe { *xs.as_ptr() }
+}
+
+/// # Safety
+///
+/// `p` must point to a live byte.
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    *p
+}

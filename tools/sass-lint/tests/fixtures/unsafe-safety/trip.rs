@@ -1,0 +1,4 @@
+// Fixture: an undocumented unsafe block must trip `unsafe-safety`.
+pub fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

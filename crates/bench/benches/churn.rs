@@ -1,0 +1,238 @@
+//! Edge-churn latency: incremental re-sparsification vs from-scratch
+//! recompute ([`IncrementalSparsifier`]).
+//!
+//! Three graph shapes (`mesh` 2-D grid, `scale_free` Barabási–Albert,
+//! `circuit` grid-with-vias) under four edit scenarios:
+//!
+//! - `single_edit`: a single-edge weight perturbation (the circuit
+//!   back-annotation case) merged onto a selected off-tree edge — one
+//!   dirty heat, a value-only factor patch on the etree ancestor
+//!   closure of the edge's two columns;
+//! - `single_structural`: one insert batch followed by one delete batch
+//!   of the same brand-new off-tree edge (two one-edit `apply_edits`
+//!   calls per iteration restoring the steady state — each side changes
+//!   the selected pattern, so the factor rebuilds past the symbolic
+//!   stage both times);
+//! - `batch_1pct`: an insert batch of ⌈1 % · n⌉ new edges, then the
+//!   matching delete batch (two batches per iteration);
+//! - `tree_edge`: the adversarial case — delete a spanning-tree edge
+//!   (forcing a matroid exchange across the severed cut plus an etree
+//!   patch around the swapped columns), then re-insert it.
+//!
+//! Against two from-scratch baselines, measured once per workload since
+//! their cost is edit-independent:
+//!
+//! - `recompute_frozen`: [`IncrementalSparsifier::oracle_rebuild`] — full
+//!   canonical tree + full re-scoring + full factorization under the same
+//!   frozen probe basis (the exact computation the incremental path is
+//!   contracted to reproduce bit-for-bit);
+//! - `recompute_full`: [`IncrementalSparsifier::new`] — the whole
+//!   pipeline including probe embedding and extreme-eigenvalue
+//!   estimation, i.e. what an editor without the incremental API pays.
+//!
+//! After the timed rows, a `churn/speedup/<workload>` summary record is
+//! appended to `CRITERION_JSON` with the per-edit speedup of the
+//! incremental single-edge edit over both baselines (plus the
+//! structural pair time for reference). Record the baseline with
+//!
+//! ```text
+//! CRITERION_JSON=BENCH_CHURN.json cargo bench -p sass-bench --bench churn
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_bench::record_simd_provenance;
+use sass_core::{IncrementalSparsifier, SparsifyConfig};
+use sass_graph::generators::{barabasi_albert, circuit_grid, grid2d, WeightModel};
+use sass_graph::{Graph, GraphEdit};
+
+fn workloads() -> Vec<(String, Graph, SparsifyConfig)> {
+    let mesh = grid2d(48, 48, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 7);
+    let sf = barabasi_albert(2000, 3, 11);
+    let circuit = circuit_grid(40, 40, 0.1, 9);
+    vec![
+        (
+            "mesh_48x48".to_string(),
+            mesh,
+            SparsifyConfig::new(100.0).with_seed(1),
+        ),
+        (
+            "scale_free_2000".to_string(),
+            sf,
+            SparsifyConfig::new(100.0).with_seed(2),
+        ),
+        (
+            "circuit_40x40".to_string(),
+            circuit,
+            SparsifyConfig::new(100.0).with_seed(3),
+        ),
+    ]
+}
+
+/// Deterministically picks `k` vertex pairs with no current edge (the
+/// insert batches must create edges, not merge weights, so the matching
+/// delete batch restores the starting graph exactly).
+fn fresh_pairs(g: &Graph, k: usize) -> Vec<(usize, usize)> {
+    let n = g.n();
+    let mut pairs = Vec::with_capacity(k);
+    'outer: for stride in (n / 2 + 1)..n {
+        for u in 0..n {
+            let v = (u + stride) % n;
+            if u != v && g.find_edge(u, v).is_none() {
+                pairs.push((u.min(v), u.max(v)));
+                pairs.dedup();
+                if pairs.len() == k {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_eq!(pairs.len(), k, "graph too dense to seed {k} fresh pairs");
+    pairs
+}
+
+/// Median wall-clock nanoseconds of `f` over `samples` calls.
+fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn bench_churn(c: &mut Criterion) {
+    record_simd_provenance("churn");
+    let mut group = c.benchmark_group("churn");
+    group.sample_size(10);
+    for (name, g, config) in workloads() {
+        let mut inc = IncrementalSparsifier::new(&g, &config).expect("seed sparsifier");
+        let n = g.n();
+        let (au, av) = fresh_pairs(&g, 1)[0];
+        let batch = fresh_pairs(&g, (n / 100).max(2));
+        let adds: Vec<GraphEdit> = batch
+            .iter()
+            .map(|&(u, v)| GraphEdit::AddEdge { u, v, weight: 0.8 })
+            .collect();
+        let removes: Vec<GraphEdit> = batch
+            .iter()
+            .map(|&(u, v)| GraphEdit::RemoveEdge { u, v })
+            .collect();
+        let te = g.edge(inc.tree_edge_ids()[inc.tree_edge_ids().len() / 2] as usize);
+        let (tu, tv, tw) = (te.u as usize, te.v as usize, te.weight);
+        // A selected off-tree edge for the back-annotation scenario. The
+        // tiny merged increments keep it selected (heat grows with
+        // weight) and leave the canonical tree untouched.
+        let sel_off = inc
+            .selected_edge_ids()
+            .iter()
+            .copied()
+            .find(|id| inc.tree_edge_ids().binary_search(id).is_err())
+            .expect("a selected off-tree edge");
+        let se = g.edge(sel_off as usize);
+        let (su, sv) = (se.u as usize, se.v as usize);
+        eprintln!(
+            "[{name}] n = {n}, m = {}, selected = {}, batch = {} edits",
+            g.m(),
+            inc.selected_edge_ids().len(),
+            batch.len(),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("single_edit/incremental", &name),
+            &(),
+            |bch, ()| bch.iter(|| black_box(inc.add_edge(su, sv, 1e-6).expect("bump").dirty_edges)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_structural/incremental", &name),
+            &(),
+            |bch, ()| {
+                bch.iter(|| {
+                    inc.add_edge(au, av, 0.8).expect("add");
+                    black_box(inc.remove_edge(au, av).expect("remove").dirty_edges)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch_1pct/incremental", &name),
+            &(),
+            |bch, ()| {
+                bch.iter(|| {
+                    inc.apply_edits(&adds).expect("adds");
+                    black_box(inc.apply_edits(&removes).expect("removes").dirty_edges)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tree_edge/incremental", &name),
+            &(),
+            |bch, ()| {
+                bch.iter(|| {
+                    inc.remove_edge(tu, tv).expect("cut tree edge");
+                    black_box(inc.add_edge(tu, tv, tw).expect("restore").dirty_edges)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute_frozen/full", &name),
+            &(),
+            |bch, ()| {
+                bch.iter(|| {
+                    black_box(
+                        inc.oracle_rebuild()
+                            .expect("oracle")
+                            .selected_edge_ids()
+                            .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute_full/full", &name),
+            &(),
+            |bch, ()| {
+                bch.iter(|| {
+                    black_box(
+                        IncrementalSparsifier::new(&g, &config)
+                            .expect("rebuild")
+                            .selected_edge_ids()
+                            .len(),
+                    )
+                })
+            },
+        );
+
+        // Summary record: per-edit speedup of the incremental single-edge
+        // edit (the value-only back-annotation case the factor patching
+        // targets) over both recompute baselines, plus the structural
+        // insert+delete pair for reference.
+        let per_edit = median_ns(9, || inc.add_edge(su, sv, 1e-6).expect("bump")).max(1);
+        let structural_pair = median_ns(5, || {
+            inc.add_edge(au, av, 0.8).expect("add");
+            inc.remove_edge(au, av).expect("remove")
+        });
+        let frozen = median_ns(3, || inc.oracle_rebuild().expect("oracle"));
+        let full = median_ns(3, || IncrementalSparsifier::new(&g, &config).expect("new"));
+        let (x_frozen, x_full) = (
+            frozen as f64 / per_edit as f64,
+            full as f64 / per_edit as f64,
+        );
+        eprintln!(
+            "[{name}] single edit {per_edit} ns vs frozen recompute {frozen} ns \
+             ({x_frozen:.1}x) / full recompute {full} ns ({x_full:.1}x); \
+             structural pair {structural_pair} ns"
+        );
+        sass_bench::append_json_record(&format!(
+            "{{\"id\":\"churn/speedup/{name}\",\"edit_ns\":{per_edit},\
+             \"structural_pair_ns\":{structural_pair},\
+             \"recompute_frozen_ns\":{frozen},\"recompute_full_ns\":{full},\
+             \"speedup_vs_frozen\":{x_frozen:.2},\"speedup_vs_full\":{x_full:.2}}}"
+        ));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

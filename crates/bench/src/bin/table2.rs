@@ -79,6 +79,58 @@ fn main() {
     println!("paper ballpark: N50 ~ 18-21, N200 ~ 36-40, densities 1.05-1.22.");
 
     multi_rhs_amortization();
+    churn_reuse_diagnostics();
+}
+
+/// Partial-refactor effectiveness of the incremental layer: a churn
+/// sequence (repeated weight back-annotation on a selected off-tree edge,
+/// then a tree-edge cut and restore) applied to the circuit case, with
+/// the accumulated schedule-reuse [`ChurnTotals`] and the maintained
+/// factor's memory footprint — the observable behind the etree-subtree
+/// patching claim (columns re-run vs total, fallbacks, free skips).
+fn churn_reuse_diagnostics() {
+    use sass_core::IncrementalSparsifier;
+
+    println!(
+        "
+incremental churn schedule reuse, circuit-180 case:"
+    );
+    let g = &table2_cases().remove(0).graph;
+    let config = SparsifyConfig::new(50.0).with_seed(1);
+    let mut inc = IncrementalSparsifier::new(g, &config).expect("incremental seed");
+    let sel_off = inc
+        .selected_edge_ids()
+        .iter()
+        .copied()
+        .find(|id| inc.tree_edge_ids().binary_search(id).is_err())
+        .expect("a selected off-tree edge");
+    let se = g.edge(sel_off as usize);
+    for _ in 0..8 {
+        inc.add_edge(se.u as usize, se.v as usize, 1e-6)
+            .expect("weight back-annotation");
+    }
+    let te = g.edge(inc.tree_edge_ids()[inc.tree_edge_ids().len() / 2] as usize);
+    let (tu, tv, tw) = (te.u as usize, te.v as usize, te.weight);
+    inc.remove_edge(tu, tv).expect("cut tree edge");
+    inc.add_edge(tu, tv, tw).expect("restore tree edge");
+
+    let t = inc.totals();
+    let reuse = 100.0 * (1.0 - t.cols_refactored as f64 / t.cols_total.max(1) as f64);
+    println!(
+        "  {} batches / {} edits: {} of {} factor columns re-run ({:.1}% reused), \
+         {} full refactor(s), {} batch(es) with the factor untouched",
+        t.batches,
+        t.edits,
+        t.cols_refactored,
+        t.cols_total,
+        reuse,
+        t.full_refactors,
+        t.factors_skipped
+    );
+    println!(
+        "  maintained grounded factor: {} KiB",
+        inc.solver().memory_bytes() / 1024
+    );
 }
 
 /// The paper's motivating scenario for tight similarity: "solving an SDD

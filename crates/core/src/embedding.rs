@@ -113,16 +113,37 @@ pub fn off_tree_heat<B: SparseBackend<Scalar = f64>>(
 ) -> OffTreeHeat {
     let n = g.n();
     assert_eq!(lg.nrows(), n, "laplacian dimension mismatch");
+    let h = probe_embedding(lg, solver_p, t, r, seed);
+    heat_from_embedding(g, off_tree, &h)
+}
+
+/// The probe iterates alone: `r` seeded random vectors advanced `t`
+/// generalized power steps, returned as an `n × r` [`DenseBlock`].
+///
+/// This is the expensive, *graph-global* half of [`off_tree_heat`] — the
+/// incremental sparsifier caches it as a **frozen scoring basis** and
+/// re-evaluates only [`heat_from_embedding`] (a pure per-edge function)
+/// after edits. For a fixed `(lg, solver_p, t, r, seed)` the returned
+/// block is bit-identical to the iterates [`off_tree_heat`] uses
+/// internally.
+///
+/// # Panics
+///
+/// Panics if `solver_p.n() != lg.nrows()`.
+pub fn probe_embedding<B: SparseBackend<Scalar = f64>>(
+    lg: &B,
+    solver_p: &GroundedSolver,
+    t: usize,
+    r: usize,
+    seed: u64,
+) -> DenseBlock {
+    let n = lg.nrows();
     assert_eq!(solver_p.n(), n, "solver dimension mismatch");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut heat = vec![0.0f64; off_tree.len()];
-    if n == 0 {
-        return OffTreeHeat {
-            heat,
-            heat_max: 0.0,
-        };
-    }
     let r = r.max(1);
+    if n == 0 {
+        return DenseBlock::zeros(0, r);
+    }
     // Probe initialization draws in probe order, so results are identical
     // to the historical one-probe-at-a-time loop for any given seed.
     let mut h = DenseBlock::zeros(n, r);
@@ -160,6 +181,31 @@ pub fn off_tree_heat<B: SparseBackend<Scalar = f64>>(
             dense::normalize(col);
         }
     }
+    h
+}
+
+/// Joule heat of the given edges evaluated against a *fixed* embedding
+/// `h` (the second half of [`off_tree_heat`]).
+///
+/// Heat is a pure function of each edge's endpoints and weight once the
+/// iterates are fixed: `heat(e) = w_e · Σ_j (h_j(u) − h_j(v))²`. Editing
+/// one edge therefore dirties exactly that edge's heat and no other —
+/// the locality the incremental sparsifier's dirty-set rule is built on.
+///
+/// # Panics
+///
+/// Panics if `h.nrows() != g.n()` or an edge id is out of range.
+pub fn heat_from_embedding(g: &Graph, off_tree: &[u32], h: &DenseBlock) -> OffTreeHeat {
+    let n = g.n();
+    assert_eq!(h.nrows(), n, "embedding dimension mismatch");
+    let mut heat = vec![0.0f64; off_tree.len()];
+    if n == 0 || off_tree.is_empty() {
+        return OffTreeHeat {
+            heat,
+            heat_max: 0.0,
+        };
+    }
+    let p = pool::Pool::global();
     // Heat accumulation: spans of off-tree edges through the SIMD-
     // dispatched Joule-heat kernel (one edge per lane, probe columns
     // summed in column order) — the same floating-point association as
@@ -202,6 +248,20 @@ mod tests {
         let solver = GroundedSolver::new(&p.laplacian(), OrderingKind::MinDegree).unwrap();
         let res = off_tree_heat(&g, &off, &g.laplacian(), &solver, 2, 6, 42);
         (g, off, res, tree)
+    }
+
+    /// The split halves composed by hand must equal the one-shot API
+    /// bit-for-bit — the incremental sparsifier's frozen-basis contract.
+    #[test]
+    fn split_halves_compose_to_off_tree_heat() {
+        let (g, off, baseline, _) = setup(7, 6, 11);
+        let tree_ids = spanning::max_weight_spanning_tree(&g).unwrap();
+        let p = g.subgraph_with_edges(tree_ids);
+        let solver = GroundedSolver::new(&p.laplacian(), OrderingKind::MinDegree).unwrap();
+        let h = probe_embedding(&g.laplacian(), &solver, 2, 6, 42);
+        let res = heat_from_embedding(&g, &off, &h);
+        assert_eq!(res.heat, baseline.heat);
+        assert_eq!(res.heat_max, baseline.heat_max);
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub fn heat_threshold(sigma2: f64, lambda_min: f64, lambda_max: f64, t: usize) -
 }
 
 /// Candidate off-tree edges that pass the heat filter, sorted by
-/// descending heat and truncated to `max_count`.
+/// descending heat (ties broken by ascending edge id) and truncated to
+/// `max_count`.
 ///
 /// Returns `(edge id, heat)` pairs. Edges with zero heat never pass, and
 /// *non-finite* heats (a NaN or infinite value from a degenerate embedding
@@ -111,8 +112,17 @@ pub fn select_edges(
             },
         )
         .unwrap_or_default();
-    passing.sort_by(|a, b| b.1.total_cmp(&a.1));
-    passing.truncate(max_count);
+    // Heat-descending with ascending-id tie-break — a strict total order
+    // (ids are unique), so the result equals the old stable sort of the
+    // id-ordered scan, while `select_nth_unstable_by` caps the sort at
+    // the `max_count` survivors instead of the whole passing set.
+    let by_heat_desc =
+        |a: &(u32, f64), b: &(u32, f64)| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0));
+    if passing.len() > max_count {
+        passing.select_nth_unstable_by(max_count - 1, by_heat_desc);
+        passing.truncate(max_count);
+    }
+    passing.sort_unstable_by(by_heat_desc);
     passing
 }
 

@@ -52,11 +52,13 @@ pub mod densify;
 pub mod embedding;
 pub mod extremes;
 pub mod filter;
+pub mod incremental;
 pub mod similarity;
 
 pub use config::SparsifyConfig;
 pub use densify::sparsify;
 pub use error::CoreError;
+pub use incremental::{ChurnReport, ChurnTotals, IncrementalSparsifier};
 pub use similarity::SimilarityPolicy;
 pub use sparsifier::{RoundStats, Sparsifier};
 

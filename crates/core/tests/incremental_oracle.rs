@@ -1,0 +1,164 @@
+//! The incremental sparsifier's ground-truth contract, randomized.
+//!
+//! After ANY edit sequence — adds (new edges and weight merges), off-tree
+//! removals, and spanning-tree-edge deletions — the maintained selection
+//! and the patched factor must be **identical** to a from-scratch
+//! recompute on the current graph with the same frozen scoring basis
+//! ([`IncrementalSparsifier::oracle_rebuild`]): the selected edge set as
+//! ids, and the factor bit-exactly (pinned through bit-equal solves).
+//!
+//! Every sequence runs at forced pool widths 1, 2, 3 and 8 — the same
+//! widths the kernel parity suites pin down — and the width-w runs must
+//! reproduce the serial run exactly: the partial refactorization and the
+//! dirty-set re-scoring go through real multi-lane dispatch here.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use sass_core::{CoreError, IncrementalSparsifier, SparsifyConfig};
+use sass_graph::generators::{grid2d, WeightModel};
+use sass_sparse::{dense, pool};
+
+/// Serializes pool-width overrides across concurrently running tests.
+fn pool_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Applies a seeded random edit sequence, asserting the oracle contract
+/// midway and at the end; returns a fingerprint (selection + one solve)
+/// for cross-width comparison.
+fn churn(side: usize, seed: u64, edits: usize) -> (Vec<u32>, Vec<f64>) {
+    let g = grid2d(side, side, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, seed);
+    let config = SparsifyConfig::new(60.0).with_seed(seed);
+    let mut inc = IncrementalSparsifier::new(&g, &config).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x00c0_ffee);
+    let check = |inc: &IncrementalSparsifier| {
+        let oracle = inc.oracle_rebuild().unwrap();
+        assert_eq!(
+            inc.selected_edge_ids(),
+            oracle.selected_edge_ids(),
+            "selection drifted from the from-scratch recompute"
+        );
+        let mut b: Vec<f64> = (0..inc.graph().n())
+            .map(|i| ((i * 5 % 19) as f64) - 9.0)
+            .collect();
+        dense::center(&mut b);
+        let x = inc.solver().solve(&b);
+        assert_eq!(
+            x,
+            oracle.solver().solve(&b),
+            "patched factor is not bit-identical to the from-scratch factor"
+        );
+        (inc.selected_edge_ids().to_vec(), x)
+    };
+    for k in 0..edits {
+        let n = inc.graph().n();
+        match rng.gen_range(0u32..4) {
+            0 | 1 => {
+                // Insert (a brand-new edge or a weight merge onto an
+                // existing one — both go through the same offer rule).
+                let u = rng.gen_range(0..n);
+                let mut v = rng.gen_range(0..n);
+                if v == u {
+                    v = (v + 1) % n;
+                }
+                let w = rng.gen_range(0.1f64..3.0);
+                inc.add_edge(u, v, w).unwrap();
+            }
+            2 => {
+                // Remove a uniformly random edge (tree or off-tree); a
+                // disconnecting removal must fail atomically.
+                let id = rng.gen_range(0..inc.graph().m());
+                let e = inc.graph().edge(id);
+                match inc.remove_edge(e.u as usize, e.v as usize) {
+                    Ok(_) | Err(CoreError::Graph(_)) => {}
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            }
+            _ => {
+                // Explicitly delete a spanning-tree edge: the adversarial
+                // case — the exchange rules must adopt the canonical
+                // replacement across the severed cut.
+                let tid = {
+                    let ids = inc.tree_edge_ids();
+                    ids[rng.gen_range(0..ids.len())]
+                };
+                let e = inc.graph().edge(tid as usize);
+                match inc.remove_edge(e.u as usize, e.v as usize) {
+                    Ok(_) | Err(CoreError::Graph(_)) => {}
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            }
+        }
+        if k == edits / 2 {
+            check(&inc);
+        }
+    }
+    check(&inc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized edit sequences: incremental == from-scratch oracle at
+    /// every forced pool width, and every width reproduces the serial
+    /// run's selection and solve bit-for-bit.
+    #[test]
+    fn incremental_matches_oracle_at_every_pool_width(
+        side in 5usize..8, seed in 0u64..1000, edits in 3usize..10
+    ) {
+        let _guard = pool_guard();
+        pool::set_threads(1);
+        let reference = churn(side, seed, edits);
+        for workers in [2usize, 3, 8] {
+            pool::set_threads(workers);
+            let got = churn(side, seed, edits);
+            pool::set_threads(0);
+            prop_assert_eq!(&got, &reference, "workers = {}", workers);
+        }
+        pool::set_threads(0);
+    }
+}
+
+/// Deterministic adversarial case at every width: a batch that deletes a
+/// tree edge AND its canonical replacement's runner-up in one go, forcing
+/// two exchange steps against the same cut.
+#[test]
+fn tree_edge_batch_deletion_matches_oracle_at_every_width() {
+    let _guard = pool_guard();
+    for workers in [1usize, 2, 3, 8] {
+        pool::set_threads(workers);
+        let g = grid2d(7, 7, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 21);
+        let mut inc = IncrementalSparsifier::new(&g, &SparsifyConfig::new(50.0)).unwrap();
+        let t0 = inc.tree_edge_ids()[5];
+        let t1 = inc.tree_edge_ids()[20];
+        let (e0, e1) = (g.edge(t0 as usize), g.edge(t1 as usize));
+        inc.apply_edits(&[
+            sass_graph::GraphEdit::RemoveEdge {
+                u: e0.u as usize,
+                v: e0.v as usize,
+            },
+            sass_graph::GraphEdit::RemoveEdge {
+                u: e1.u as usize,
+                v: e1.v as usize,
+            },
+        ])
+        .unwrap();
+        let oracle = inc.oracle_rebuild().unwrap();
+        assert_eq!(
+            inc.selected_edge_ids(),
+            oracle.selected_edge_ids(),
+            "workers = {workers}"
+        );
+        let mut b: Vec<f64> = (0..g.n()).map(|i| (i as f64 * 0.7).cos()).collect();
+        dense::center(&mut b);
+        assert_eq!(
+            inc.solver().solve(&b),
+            oracle.solver().solve(&b),
+            "workers = {workers}"
+        );
+        pool::set_threads(0);
+    }
+}

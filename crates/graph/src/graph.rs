@@ -124,6 +124,63 @@ impl GraphBuilder {
     }
 }
 
+/// One edge mutation for [`Graph::apply_edits`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphEdit {
+    /// Insert edge `{u, v}` with weight `w`. If the edge already exists
+    /// the weights merge by summation — the same parallel-conductance rule
+    /// as [`GraphBuilder::build`].
+    AddEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+        /// Positive, finite weight to add.
+        weight: f64,
+    },
+    /// Remove edge `{u, v}` entirely (whatever its merged weight).
+    RemoveEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+}
+
+/// Mapping from a graph's edge ids to the ids of its edited successor,
+/// returned by [`Graph::apply_edits`].
+///
+/// Edge ids index the canonical sorted edge list, so any structural edit
+/// renumbers the ids of every edge sorting after it; callers holding
+/// per-edge caches (heat scores, tree memberships) use this map to carry
+/// them across the rebuild.
+#[derive(Debug, Clone)]
+pub struct EditMap {
+    old_to_new: Vec<Option<u32>>,
+    new_m: usize,
+}
+
+impl EditMap {
+    /// The new id of old edge `id`, or `None` if the edit removed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds for the pre-edit graph.
+    pub fn new_id(&self, id: u32) -> Option<u32> {
+        self.old_to_new[id as usize]
+    }
+
+    /// Number of edges in the pre-edit graph.
+    pub fn old_m(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// Number of edges in the post-edit graph.
+    pub fn new_m(&self) -> usize {
+        self.new_m
+    }
+}
+
 /// An immutable weighted undirected graph.
 ///
 /// Stores a canonical edge list (endpoints ordered, sorted, parallel edges
@@ -287,6 +344,71 @@ impl Graph {
         coo.to_csr()
     }
 
+    /// The Laplacian of the subgraph keeping only the edges with the
+    /// given ids, on the full vertex set — entry-for-entry (and bit for
+    /// bit) equal to `subgraph_with_edges(ids).laplacian()`, assembled
+    /// directly in CSR form without building the intermediate graph or a
+    /// COO staging buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_ids` is not sorted and duplicate-free, or if an id
+    /// is out of bounds.
+    pub fn laplacian_of_edges(&self, edge_ids: &[u32]) -> CsrMatrix {
+        assert!(
+            edge_ids.windows(2).all(|w| w[0] < w[1]),
+            "edge ids must be sorted and unique"
+        );
+        let n = self.n;
+        // Row k holds its diagonal plus one entry per selected incident
+        // edge; `lo[k]` counts the incident edges whose other endpoint is
+        // smaller than k, which is where the diagonal slot sits in the
+        // column-sorted row.
+        let mut count = vec![1usize; n];
+        let mut lo = vec![0usize; n];
+        for &id in edge_ids {
+            let e = self.edges[id as usize];
+            count[e.u as usize] += 1;
+            count[e.v as usize] += 1;
+            lo[e.v as usize] += 1;
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let mut total = 0usize;
+        for &c in &count {
+            total += c;
+            indptr.push(total);
+        }
+        let mut indices = vec![0u32; total];
+        let mut data = vec![0.0f64; total];
+        // Edge ids ascend in (u, v) pair order, so each row's smaller
+        // neighbors arrive ascending before its larger neighbors do —
+        // two cursors per row produce column-sorted rows directly. The
+        // diagonal accumulates in the same incident-edge order the
+        // subgraph's `weighted_degree` sums in, keeping bit-equality.
+        let mut diag = vec![0.0f64; n];
+        let mut next_lo: Vec<usize> = indptr[..n].to_vec();
+        let mut next_hi: Vec<usize> = (0..n).map(|k| indptr[k] + lo[k] + 1).collect();
+        for &id in edge_ids {
+            let e = self.edges[id as usize];
+            let (u, v) = (e.u as usize, e.v as usize);
+            indices[next_hi[u]] = e.v;
+            data[next_hi[u]] = -e.weight;
+            next_hi[u] += 1;
+            indices[next_lo[v]] = e.u;
+            data[next_lo[v]] = -e.weight;
+            next_lo[v] += 1;
+            diag[u] += e.weight;
+            diag[v] += e.weight;
+        }
+        for k in 0..n {
+            let p = indptr[k] + lo[k];
+            indices[p] = k as u32;
+            data[p] = diag[k];
+        }
+        CsrMatrix::from_raw_parts(n, n, indptr, indices, data)
+    }
+
     /// The symmetric normalized Laplacian `I − D^(−1/2) W D^(−1/2)` as a
     /// CSR matrix — the operator behind normalized spectral clustering.
     ///
@@ -426,6 +548,141 @@ impl Graph {
             }
         }
         Ok(b.build())
+    }
+
+    /// Applies a batch of edge mutations, returning the edited graph and
+    /// the old→new edge-id mapping.
+    ///
+    /// Edits apply sequentially against the evolving edge-weight state:
+    /// adding an existing edge merges weights by summation (the
+    /// parallel-conductance rule), removing deletes the merged edge
+    /// entirely, and a remove-then-add sequence behaves as a weight
+    /// replacement. Only the touched pairs are tracked individually; the
+    /// graph is rebuilt by one merge pass over the sorted edge list, so a
+    /// `k`-edit batch costs `O(m + k log k)`, not `k` rebuilds.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::VertexOutOfBounds`] for a bad endpoint,
+    /// - [`GraphError::NonPositiveWeight`] for a non-positive/non-finite
+    ///   added weight,
+    /// - [`GraphError::InvalidParameter`] for a self-loop edit or removal
+    ///   of an absent edge.
+    ///
+    /// On error the original graph is untouched (this method takes
+    /// `&self`) and no partial batch is observable.
+    pub fn apply_edits(&self, edits: &[GraphEdit]) -> Result<(Graph, EditMap)> {
+        use std::collections::BTreeMap;
+        // Sequential edit state for the touched pairs only: `Some(w)` is
+        // the pair's merged weight so far, `None` a removal. Untouched
+        // pairs never enter the overlay.
+        let mut overlay: BTreeMap<(u32, u32), Option<f64>> = BTreeMap::new();
+        for edit in edits {
+            let (u, v) = match *edit {
+                GraphEdit::AddEdge { u, v, .. } | GraphEdit::RemoveEdge { u, v } => (u, v),
+            };
+            for x in [u, v] {
+                if x >= self.n {
+                    return Err(GraphError::VertexOutOfBounds {
+                        vertex: x,
+                        n: self.n,
+                    });
+                }
+            }
+            if u == v {
+                return Err(GraphError::InvalidParameter {
+                    context: format!("edit touches self-loop ({u}, {v})"),
+                });
+            }
+            let key = (u.min(v) as u32, u.max(v) as u32);
+            let current = match overlay.get(&key) {
+                Some(&state) => state,
+                None => self
+                    .find_edge(u, v)
+                    .map(|id| self.edges[id as usize].weight),
+            };
+            match *edit {
+                GraphEdit::AddEdge { weight, .. } => {
+                    // The negated comparison also rejects NaN.
+                    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                    if !(weight > 0.0) || !weight.is_finite() {
+                        return Err(GraphError::NonPositiveWeight { u, v, weight });
+                    }
+                    overlay.insert(key, Some(current.unwrap_or(0.0) + weight));
+                }
+                GraphEdit::RemoveEdge { .. } => {
+                    if current.is_none() {
+                        return Err(GraphError::InvalidParameter {
+                            context: format!("remove of absent edge ({u}, {v})"),
+                        });
+                    }
+                    overlay.insert(key, None);
+                }
+            }
+        }
+        // Merge the sorted edge list with the (sorted) overlay, producing
+        // the new canonical edge list and the id map in one pass.
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.edges.len() + overlay.len());
+        let mut old_to_new = vec![None; self.edges.len()];
+        let mut ov = overlay.iter().peekable();
+        for (old_id, e) in self.edges.iter().enumerate() {
+            // Overlay keys sorting before this edge are brand-new pairs
+            // (keys for existing pairs are consumed at their edge below).
+            while let Some(&(&(u, v), &state)) = ov.peek() {
+                if (u, v) >= (e.u, e.v) {
+                    break;
+                }
+                ov.next();
+                if let Some(weight) = state {
+                    edges.push(Edge { u, v, weight });
+                }
+            }
+            let state = match ov.peek() {
+                Some(&(&key, &state)) if key == (e.u, e.v) => {
+                    ov.next();
+                    state
+                }
+                _ => Some(e.weight),
+            };
+            if let Some(weight) = state {
+                old_to_new[old_id] = Some(edges.len() as u32);
+                edges.push(Edge {
+                    u: e.u,
+                    v: e.v,
+                    weight,
+                });
+            }
+        }
+        for (&(u, v), &state) in ov {
+            if let Some(weight) = state {
+                edges.push(Edge { u, v, weight });
+            }
+        }
+        let new_m = edges.len();
+        Ok((
+            Graph::from_sorted_edges(self.n, edges),
+            EditMap { old_to_new, new_m },
+        ))
+    }
+
+    /// Single-edge convenience wrapper over [`Graph::apply_edits`]:
+    /// inserts `{u, v}` with weight `w` (merging with an existing edge).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::apply_edits`].
+    pub fn add_edge(&self, u: usize, v: usize, weight: f64) -> Result<(Graph, EditMap)> {
+        self.apply_edits(&[GraphEdit::AddEdge { u, v, weight }])
+    }
+
+    /// Single-edge convenience wrapper over [`Graph::apply_edits`]:
+    /// removes edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::apply_edits`].
+    pub fn remove_edge(&self, u: usize, v: usize) -> Result<(Graph, EditMap)> {
+        self.apply_edits(&[GraphEdit::RemoveEdge { u, v }])
     }
 }
 
@@ -591,6 +848,175 @@ mod tests {
         };
         assert_eq!(e.other(3), 7);
         assert_eq!(e.other(7), 3);
+    }
+
+    #[test]
+    fn laplacian_of_edges_matches_subgraph_laplacian_bitwise() {
+        // Includes an isolated vertex (4) and a vertex with both smaller
+        // and larger selected neighbors (2).
+        let g = Graph::from_edges(
+            5,
+            &[
+                (0, 1, 1.5),
+                (0, 2, 0.75),
+                (1, 2, 2.25),
+                (2, 3, 0.3),
+                (1, 3, 4.0),
+            ],
+        )
+        .unwrap();
+        for ids in [vec![], vec![1u32, 2, 3], (0..g.m() as u32).collect()] {
+            let direct = g.laplacian_of_edges(&ids);
+            let via_subgraph = g.subgraph_with_edges(ids.iter().copied()).laplacian();
+            assert_eq!(direct.indptr(), via_subgraph.indptr());
+            assert_eq!(direct.indices(), via_subgraph.indices());
+            assert_eq!(direct.data(), via_subgraph.data());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn laplacian_of_edges_rejects_unsorted_ids() {
+        let g = triangle();
+        let _ = g.laplacian_of_edges(&[1, 0]);
+    }
+
+    #[test]
+    fn apply_edits_batch_with_new_head_and_tail_pairs() {
+        // New pairs sorting before every existing edge and after all of
+        // them, plus an interior removal — exercises every branch of the
+        // sorted-merge rebuild.
+        let g = Graph::from_edges(5, &[(1, 2, 1.0), (2, 3, 2.0)]).unwrap();
+        let (g2, map) = g
+            .apply_edits(&[
+                GraphEdit::AddEdge {
+                    u: 0,
+                    v: 1,
+                    weight: 5.0,
+                },
+                GraphEdit::AddEdge {
+                    u: 3,
+                    v: 4,
+                    weight: 6.0,
+                },
+                GraphEdit::RemoveEdge { u: 1, v: 2 },
+                GraphEdit::AddEdge {
+                    u: 0,
+                    v: 2,
+                    weight: 7.0,
+                },
+            ])
+            .unwrap();
+        let pairs: Vec<(u32, u32, f64)> = g2.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        assert_eq!(
+            pairs,
+            vec![(0, 1, 5.0), (0, 2, 7.0), (2, 3, 2.0), (3, 4, 6.0)]
+        );
+        assert_eq!(map.new_id(0), None);
+        assert_eq!(map.new_id(1), Some(2));
+        assert_eq!(map.new_m(), 4);
+        // Add-then-remove of a brand-new pair leaves no trace.
+        let (g3, _) = g
+            .apply_edits(&[
+                GraphEdit::AddEdge {
+                    u: 0,
+                    v: 4,
+                    weight: 1.0,
+                },
+                GraphEdit::RemoveEdge { u: 0, v: 4 },
+            ])
+            .unwrap();
+        assert_eq!(g3.m(), g.m());
+    }
+
+    #[test]
+    fn apply_edits_adds_removes_and_remaps() {
+        let g = triangle(); // edges (0,1,1.0) (0,2,3.0) (1,2,2.0) in id order
+        let (g2, map) = g
+            .apply_edits(&[
+                GraphEdit::RemoveEdge { u: 0, v: 1 },
+                GraphEdit::AddEdge {
+                    u: 1,
+                    v: 2,
+                    weight: 0.5,
+                },
+            ])
+            .unwrap();
+        assert_eq!(g2.m(), 2);
+        // Old edge 0 = (0,1) removed; (0,2) is new id 0; (1,2) is new id 1.
+        assert_eq!(map.new_id(0), None);
+        assert_eq!(map.new_id(1), Some(0));
+        assert_eq!(map.new_id(2), Some(1));
+        assert_eq!(map.old_m(), 3);
+        assert_eq!(map.new_m(), 2);
+        // Merge semantics: 2.0 + 0.5.
+        let id = g2.find_edge(1, 2).unwrap();
+        assert_eq!(g2.edge(id as usize).weight, 2.5);
+        // Source graph untouched.
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn apply_edits_is_sequential() {
+        let g = triangle();
+        // Remove then re-add acts as weight replacement.
+        let (g2, _) = g
+            .apply_edits(&[
+                GraphEdit::RemoveEdge { u: 0, v: 2 },
+                GraphEdit::AddEdge {
+                    u: 2,
+                    v: 0,
+                    weight: 7.0,
+                },
+            ])
+            .unwrap();
+        let id = g2.find_edge(0, 2).unwrap();
+        assert_eq!(g2.edge(id as usize).weight, 7.0);
+    }
+
+    #[test]
+    fn add_edge_creates_new_edge() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let (g2, map) = g.add_edge(0, 3, 4.0).unwrap();
+        assert_eq!(g2.m(), 4);
+        // (0,3) sorts between (0,1) and (1,2): ids after it shift by one.
+        assert_eq!(map.new_id(0), Some(0));
+        assert_eq!(map.new_id(1), Some(2));
+        assert_eq!(map.new_id(2), Some(3));
+        assert_eq!(g2.find_edge(0, 3), Some(1));
+    }
+
+    #[test]
+    fn apply_edits_rejects_bad_edits() {
+        let g = triangle();
+        assert!(matches!(
+            g.apply_edits(&[GraphEdit::AddEdge {
+                u: 0,
+                v: 9,
+                weight: 1.0
+            }]),
+            Err(GraphError::VertexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            g.apply_edits(&[GraphEdit::AddEdge {
+                u: 1,
+                v: 1,
+                weight: 1.0
+            }]),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            g.apply_edits(&[GraphEdit::AddEdge {
+                u: 0,
+                v: 1,
+                weight: f64::NAN
+            }]),
+            Err(GraphError::NonPositiveWeight { .. })
+        ));
+        assert!(matches!(
+            g.remove_edge(0, 1).and_then(|(g2, _)| g2.remove_edge(0, 1)),
+            Err(GraphError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod stretch;
 pub mod traverse;
 
 pub use error::GraphError;
-pub use graph::{Edge, Graph, GraphBuilder};
+pub use graph::{Edge, EditMap, Graph, GraphBuilder, GraphEdit};
 pub use lca::LcaIndex;
 pub use tree::RootedTree;
 pub use unionfind::UnionFind;

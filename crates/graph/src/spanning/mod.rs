@@ -1,11 +1,15 @@
 //! Spanning-tree extraction algorithms.
 //!
 //! The sparsifier's backbone is a spanning tree; the paper calls for a
-//! low-stretch / "spectrally critical" one. Four constructions are offered:
+//! low-stretch / "spectrally critical" one. Several constructions are offered:
 //!
 //! - [`max_weight_spanning_tree`]: Kruskal on descending weight — the
 //!   practical default of Feng's GRASS line of work (heavy edges are the
 //!   spectrally important ones),
+//! - [`canonical_max_weight_spanning_tree`]: the same tree under a
+//!   *strict* total order (weight descending, `(u, v)` ascending), which
+//!   makes it unique — the backbone contract [`DynamicTree`] maintains
+//!   incrementally under edge churn,
 //! - [`akpw_spanning_tree`]: an AKPW-style low-stretch tree via repeated
 //!   bounded-radius clustering over growing weight classes,
 //! - [`bfs_spanning_tree`]: hop-BFS tree, a cheap baseline,
@@ -16,11 +20,15 @@
 //! [`RootedTree`](crate::RootedTree) for path queries.
 
 mod akpw;
+mod dynamic;
 mod kruskal;
 mod wilson;
 
 pub use akpw::{akpw_spanning_tree, AkpwParams};
-pub use kruskal::{max_weight_spanning_tree, min_weight_spanning_tree};
+pub use dynamic::DynamicTree;
+pub use kruskal::{
+    canonical_max_weight_spanning_tree, max_weight_spanning_tree, min_weight_spanning_tree,
+};
 pub use wilson::random_spanning_tree;
 
 use crate::{Graph, GraphError, Result};

@@ -118,6 +118,55 @@ impl RootedTree {
         })
     }
 
+    /// Re-derives this rooted view against an edited host graph whose
+    /// edge ids were renumbered but whose tree *topology* is unchanged:
+    /// the parent/depth/BFS structure is reused verbatim, edge ids are
+    /// carried through `new_id`, and the path resistances are recomputed
+    /// from the edited graph's weights (tree-edge weights may have
+    /// merged). The resistances are accumulated along each parent chain
+    /// exactly as [`RootedTree::new`] does, so given equal weights the
+    /// result is bit-identical to a from-scratch rebuild.
+    ///
+    /// Returns `None` if any tree edge fails to remap — the topology did
+    /// not survive the edit after all and a full [`RootedTree::new`] is
+    /// required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a remapped id is out of bounds for `g`.
+    pub fn remapped(&self, g: &Graph, new_id: impl Fn(u32) -> Option<u32>) -> Option<RootedTree> {
+        let mut edge_ids = Vec::with_capacity(self.edge_ids.len());
+        for &id in &self.edge_ids {
+            edge_ids.push(new_id(id)?);
+        }
+        // Edit maps are monotone, but stay safe for arbitrary closures.
+        edge_ids.sort_unstable();
+        let mut parent_edge = vec![u32::MAX; self.n];
+        for (slot, &old) in parent_edge.iter_mut().zip(&self.parent_edge) {
+            if old != u32::MAX {
+                *slot = new_id(old)?;
+            }
+        }
+        let mut rdist = vec![0.0f64; self.n];
+        for &v in &self.bfs_order {
+            let v = v as usize;
+            let p = self.parent[v];
+            if p != u32::MAX {
+                rdist[v] = rdist[p as usize] + 1.0 / g.edge(parent_edge[v] as usize).weight;
+            }
+        }
+        Some(RootedTree {
+            root: self.root,
+            n: self.n,
+            parent: self.parent.clone(),
+            parent_edge,
+            depth: self.depth.clone(),
+            rdist,
+            bfs_order: self.bfs_order.clone(),
+            edge_ids,
+        })
+    }
+
     /// The root vertex.
     pub fn root(&self) -> usize {
         self.root
@@ -255,6 +304,41 @@ mod tests {
             RootedTree::new(&g, vec![0, 1, 3], 0),
             Err(GraphError::NotSpanningTree { .. })
         ));
+    }
+
+    #[test]
+    fn remapped_matches_rebuild_after_edit() {
+        use crate::GraphEdit;
+        let g = square_with_diagonal();
+        // Tree: (0,1), (1,2), (2,3) = ids 0, 3, 4.
+        let t = RootedTree::new(&g, vec![0, 3, 4], 0).unwrap();
+        // Remove the off-tree diagonal (0,2) and bump a tree edge's
+        // weight: ids renumber, topology survives.
+        let (g2, map) = g
+            .apply_edits(&[
+                GraphEdit::RemoveEdge { u: 0, v: 2 },
+                GraphEdit::AddEdge {
+                    u: 1,
+                    v: 2,
+                    weight: 3.0,
+                },
+            ])
+            .unwrap();
+        let fast = t.remapped(&g2, |id| map.new_id(id)).unwrap();
+        let full = RootedTree::new(&g2, fast.edge_ids().to_vec(), 0).unwrap();
+        assert_eq!(fast.edge_ids(), full.edge_ids());
+        for v in 0..g2.n() {
+            assert_eq!(fast.parent(v), full.parent(v));
+            assert_eq!(fast.parent_edge(v), full.parent_edge(v));
+            assert_eq!(fast.depth(v), full.depth(v));
+            // Bit-exact, not approximately equal.
+            assert_eq!(fast.resistance_to_root(v), full.resistance_to_root(v));
+        }
+        // A topology-breaking map (tree edge deleted) is refused.
+        let (_, map2) = g
+            .apply_edits(&[GraphEdit::RemoveEdge { u: 0, v: 1 }])
+            .unwrap();
+        assert!(t.remapped(&g2, |id| map2.new_id(id)).is_none());
     }
 
     #[test]

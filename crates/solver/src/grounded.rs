@@ -42,7 +42,25 @@ const MIN_PAR_BLOCK_WORK: usize = 32_768;
 pub struct GroundedSolver {
     n: usize,
     ground: usize,
+    ordering: OrderingKind,
     factor: LdlFactor,
+    /// Lazy cache of the ground-row/column elimination, keyed on the
+    /// incoming Laplacian's sparsity pattern: on a hit the reduced
+    /// matrix's values are refreshed through `gather` instead of
+    /// rebuilding the submatrix (see [`GroundedSolver::refactor`]).
+    red_cache: Option<GroundCache>,
+}
+
+/// See [`GroundedSolver::red_cache`]: `gather[q]` is the position in the
+/// full Laplacian's value array feeding `reduced.data()[q]` — exactly the
+/// entries outside the ground row and column, in row-major order, which is
+/// what [`CsrMatrix::principal_submatrix`] keeps.
+#[derive(Debug, Clone)]
+struct GroundCache {
+    l_p: Vec<usize>,
+    l_i: Vec<u32>,
+    gather: Vec<u32>,
+    reduced: CsrMatrix,
 }
 
 impl GroundedSolver {
@@ -101,7 +119,122 @@ impl GroundedSolver {
             Err(SparseError::ZeroPivot { .. }) => return Err(SolverError::GroundedSingular),
             Err(e) => return Err(e.into()),
         };
-        Ok(GroundedSolver { n, ground, factor })
+        Ok(GroundedSolver {
+            n,
+            ground,
+            ordering,
+            factor,
+            red_cache: None,
+        })
+    }
+
+    /// Updates the solver in place after the Laplacian changed at a known
+    /// set of vertices, re-running numeric factorization only on the
+    /// elimination-tree ancestor closure of the changed columns
+    /// ([`LdlFactor::refactor_partial`]).
+    ///
+    /// `l` is the **new** Laplacian (same dimension, same ground vertex);
+    /// `changed_vertices` lists every vertex whose row of `l` differs from
+    /// the Laplacian this solver currently represents — for an edge edit
+    /// `(u, v)` that is `u` and `v` (the ground vertex may be included and
+    /// is ignored). `crossover` is the affected-fraction threshold past
+    /// which the whole numeric phase is re-run on the existing symbolic
+    /// analysis; a sparsity-pattern change falls back to a full
+    /// re-factorization (fresh ordering) transparently.
+    ///
+    /// After a successful return the solver is exactly the solver
+    /// [`GroundedSolver::with_ground`] would build for `l` — bit-identical
+    /// when the pattern is unchanged (skipped columns keep values that a
+    /// from-scratch run would reproduce, re-run columns execute the same
+    /// factorization steps on the same inputs).
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::ShapeMismatch`] if `l` has a different dimension, and
+    /// [`SolverError::GroundedSingular`] if a pivot vanishes — the solver
+    /// is **poisoned** then and must be rebuilt before further solves.
+    pub fn refactor(
+        &mut self,
+        l: &CsrMatrix,
+        changed_vertices: &[usize],
+        crossover: f64,
+    ) -> Result<sass_sparse::RefactorStats> {
+        if l.nrows() != self.n || l.ncols() != self.n {
+            return Err(SolverError::ShapeMismatch {
+                context: format!(
+                    "refactor: solver is {}x{0}, laplacian is {1}x{2}",
+                    self.n,
+                    l.nrows(),
+                    l.ncols()
+                ),
+            });
+        }
+        if let Some(&v) = changed_vertices.iter().find(|&&v| v >= self.n) {
+            return Err(SolverError::ShapeMismatch {
+                context: format!(
+                    "refactor: changed vertex {v} out of range for n = {}",
+                    self.n
+                ),
+            });
+        }
+        // Ground elimination: on a pattern hit against the cached
+        // Laplacian, refresh the reduced matrix's values through the
+        // stored gather map (the submatrix keeps full-matrix entries in
+        // row-major order, so a pattern-equal input routes values to the
+        // same slots); otherwise rebuild the submatrix and the map.
+        let cached = matches!(
+            &self.red_cache,
+            Some(c) if c.l_p == l.indptr() && c.l_i == l.indices()
+        );
+        if cached {
+            let Some(cache) = self.red_cache.as_mut() else {
+                unreachable!("`cached` requires `red_cache` to be Some");
+            };
+            let src = l.data();
+            for (dst, &p) in cache.reduced.data_mut().iter_mut().zip(&cache.gather) {
+                *dst = src[p as usize];
+            }
+        } else {
+            let mut keep = vec![true; self.n];
+            keep[self.ground] = false;
+            let (reduced, _) = l.principal_submatrix(&keep);
+            self.red_cache = Some(Self::build_ground_cache(l, self.ground, reduced));
+        }
+        let Some(red_cache) = self.red_cache.as_ref() else {
+            unreachable!("both branches above leave `red_cache` populated");
+        };
+        let reduced = &red_cache.reduced;
+        // Grounded row index of vertex v: vertices above the ground shift
+        // down by one; the ground row itself does not exist in the reduced
+        // system (its incident-edge updates land on the other endpoints).
+        let changed_rows: Vec<usize> = changed_vertices
+            .iter()
+            .filter(|&&v| v != self.ground)
+            .map(|&v| if v > self.ground { v - 1 } else { v })
+            .collect();
+        match self
+            .factor
+            .refactor_partial(reduced, &changed_rows, crossover)
+        {
+            Ok(sass_sparse::RefactorOutcome::Patched(stats)) => Ok(stats),
+            Ok(sass_sparse::RefactorOutcome::PatternChanged) => {
+                let rn = reduced.nrows();
+                match LdlFactor::new(reduced, self.ordering) {
+                    Ok(f) => {
+                        self.factor = f;
+                        Ok(sass_sparse::RefactorStats {
+                            cols_refactored: rn,
+                            total_cols: rn,
+                            full: true,
+                        })
+                    }
+                    Err(SparseError::ZeroPivot { .. }) => Err(SolverError::GroundedSingular),
+                    Err(e) => Err(e.into()),
+                }
+            }
+            Err(SparseError::ZeroPivot { .. }) => Err(SolverError::GroundedSingular),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Dimension of the original (ungrounded) system.
@@ -125,6 +258,41 @@ impl GroundedSolver {
     /// [`LdlFactor::memory_bytes`]) the bench binaries report.
     pub fn factor(&self) -> &LdlFactor {
         &self.factor
+    }
+
+    /// Builds the [`GroundCache`] for `l`: records `l`'s pattern and, for
+    /// every entry outside the ground row and column in row-major order,
+    /// the source position feeding the corresponding reduced-matrix slot.
+    fn build_ground_cache(l: &CsrMatrix, ground: usize, reduced: CsrMatrix) -> GroundCache {
+        assert!(
+            l.nnz() < u32::MAX as usize,
+            "ground cache gather indices must fit in u32"
+        );
+        let indptr = l.indptr();
+        let indices = l.indices();
+        let mut gather = Vec::with_capacity(reduced.nnz());
+        for i in 0..l.nrows() {
+            if i == ground {
+                continue;
+            }
+            for (p, &col) in indices
+                .iter()
+                .enumerate()
+                .take(indptr[i + 1])
+                .skip(indptr[i])
+            {
+                if col as usize != ground {
+                    gather.push(p as u32);
+                }
+            }
+        }
+        debug_assert_eq!(gather.len(), reduced.nnz());
+        GroundCache {
+            l_p: indptr.to_vec(),
+            l_i: indices.to_vec(),
+            gather,
+            reduced,
+        }
     }
 
     /// Approximate memory held by the factorization, in bytes.
@@ -583,6 +751,115 @@ mod tests {
         assert_eq!(out1, vec![vec![0.0]]);
         assert_eq!(s1.solve_many(&[vec![5.0]]), vec![vec![0.0]]);
         assert_eq!(s1.solve(&[5.0]), vec![0.0]);
+    }
+
+    /// A weight-only edit keeps the grounded pattern, so `refactor` must
+    /// reproduce the from-scratch solver bit-for-bit and report a partial
+    /// (non-full) numeric re-run.
+    #[test]
+    fn refactor_after_weight_edit_matches_fresh_solver() {
+        let g = grid2d(8, 8, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 7);
+        let mut edges: Vec<(usize, usize, f64)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.u as usize, e.v as usize, e.weight))
+            .collect();
+        let mut s =
+            GroundedSolver::with_ground(&g.laplacian(), 5, OrderingKind::MinDegree).unwrap();
+        // Bump one edge weight; both endpoints are the changed vertices.
+        let (u, v, w) = edges[40];
+        edges[40] = (u, v, w + 1.5);
+        let g2 = Graph::from_edges(g.n(), &edges).unwrap();
+        let l2 = g2.laplacian();
+        let stats = s.refactor(&l2, &[u, v], 0.9).unwrap();
+        assert!(
+            !stats.full,
+            "two changed vertices on a grid must stay partial"
+        );
+        assert!(stats.cols_refactored < stats.total_cols);
+        let fresh = GroundedSolver::with_ground(&l2, 5, OrderingKind::MinDegree).unwrap();
+        let mut b: Vec<f64> = (0..g.n()).map(|i| ((i * 3 % 17) as f64) - 8.0).collect();
+        dense::center(&mut b);
+        assert_eq!(
+            s.solve(&b),
+            fresh.solve(&b),
+            "patched factor must be bit-identical"
+        );
+    }
+
+    /// An edit touching the ground vertex only perturbs the *other*
+    /// endpoint's grounded row; the ground itself must be silently skipped.
+    #[test]
+    fn refactor_handles_ground_vertex_edits() {
+        let g = grid2d(6, 6, WeightModel::Unit, 3);
+        let mut edges: Vec<(usize, usize, f64)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.u as usize, e.v as usize, e.weight))
+            .collect();
+        let mut s = GroundedSolver::new(&g.laplacian(), OrderingKind::MinDegree).unwrap();
+        let idx = edges.iter().position(|&(u, _, _)| u == 0).unwrap();
+        let (u, v, w) = edges[idx];
+        edges[idx] = (u, v, w + 0.75);
+        let l2 = Graph::from_edges(g.n(), &edges).unwrap().laplacian();
+        s.refactor(&l2, &[u, v], 0.9).unwrap();
+        let fresh = GroundedSolver::new(&l2, OrderingKind::MinDegree).unwrap();
+        let mut b: Vec<f64> = (0..g.n()).map(|i| (i as f64 * 0.3).sin()).collect();
+        dense::center(&mut b);
+        assert_eq!(s.solve(&b), fresh.solve(&b));
+    }
+
+    /// Adding an edge changes the grounded sparsity pattern; `refactor`
+    /// must fall back to a full rebuild and still land on the fresh solver.
+    #[test]
+    fn refactor_pattern_change_falls_back_to_full_rebuild() {
+        let g = grid2d(5, 5, WeightModel::Unit, 0);
+        let mut edges: Vec<(usize, usize, f64)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.u as usize, e.v as usize, e.weight))
+            .collect();
+        let mut s = GroundedSolver::new(&g.laplacian(), OrderingKind::MinDegree).unwrap();
+        edges.push((3, 21, 2.0)); // brand-new long-range edge
+        let l2 = Graph::from_edges(g.n(), &edges).unwrap().laplacian();
+        let stats = s.refactor(&l2, &[3, 21], 0.9).unwrap();
+        assert!(stats.full, "a pattern change must go through the full path");
+        assert_eq!(stats.cols_refactored, g.n() - 1);
+        let fresh = GroundedSolver::new(&l2, OrderingKind::MinDegree).unwrap();
+        let mut b: Vec<f64> = (0..g.n()).map(|i| ((i * 11 % 7) as f64) - 3.0).collect();
+        dense::center(&mut b);
+        assert_eq!(s.solve(&b), fresh.solve(&b));
+    }
+
+    #[test]
+    fn refactor_rejects_bad_shapes_and_vertices() {
+        let g = grid2d(4, 4, WeightModel::Unit, 0);
+        let mut s = GroundedSolver::new(&g.laplacian(), OrderingKind::Natural).unwrap();
+        let small = grid2d(3, 3, WeightModel::Unit, 0).laplacian();
+        assert!(matches!(
+            s.refactor(&small, &[1], 0.9),
+            Err(SolverError::ShapeMismatch { .. })
+        ));
+        let l = g.laplacian();
+        assert!(matches!(
+            s.refactor(&l, &[99], 0.9),
+            Err(SolverError::ShapeMismatch { .. })
+        ));
+    }
+
+    /// Deleting a cut edge disconnects the graph: the numeric re-run hits a
+    /// zero pivot and must surface as `GroundedSingular` (pattern of the
+    /// Laplacian with an explicitly-zero edge kept; here we rebuild the
+    /// edge list, so the pattern changes and the full rebuild catches it).
+    #[test]
+    fn refactor_disconnection_reports_singular() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let mut s = GroundedSolver::new(&g.laplacian(), OrderingKind::Natural).unwrap();
+        let cut = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        assert_eq!(
+            s.refactor(&cut.laplacian(), &[1, 2], 0.9).unwrap_err(),
+            SolverError::GroundedSingular
+        );
     }
 
     #[test]

@@ -73,6 +73,54 @@ fn contained_span_trips_the_tracker() {
     pool.parallel_for_spans(&[(0, 10), (3, 4)], |_, _| {});
 }
 
+/// The cross-level read-set canary: the LDLᵀ sweeps' safety argument is
+/// that every entry a step gathers was finalized by an earlier level's
+/// barrier. The shadow `level_of` map verifies exactly that; corrupting
+/// one column's recorded level makes a well-ordered read look like a
+/// same-level read, and the tracker must trip.
+#[test]
+#[should_panic(expected = "cross-level read-set violation")]
+fn corrupted_level_map_trips_the_read_tracker() {
+    use sass_sparse::{ordering::OrderingKind, CooMatrix, LdlFactor};
+    let n = 16;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0);
+        if i + 1 < n {
+            coo.push_sym(i, i + 1, -1.0);
+        }
+    }
+    let mut f = LdlFactor::new(&coo.to_csr(), OrderingKind::Natural).unwrap();
+    // A natural tridiagonal etree is a path: row 5 reads row 4, one level
+    // below. Lift row 4's recorded level above row 5's and the forward
+    // sweep's read is no longer "strictly below".
+    f.corrupt_level_for_test(4, 9);
+    let _ = f.solve(&vec![1.0; n]);
+}
+
+/// The factorization's read set is verified too: a partial refactor
+/// gathers rows in strictly lower levels, and a corrupted level map must
+/// trip it through `refactor_partial`'s masked numeric phase.
+#[test]
+#[should_panic(expected = "cross-level read-set violation")]
+fn corrupted_level_map_trips_the_factor_read_tracker() {
+    use sass_sparse::{ordering::OrderingKind, CooMatrix, LdlFactor};
+    let n = 16;
+    let build = |d5: f64| {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, if i == 5 { d5 } else { 4.0 });
+            if i + 1 < n {
+                coo.push_sym(i, i + 1, -1.0);
+            }
+        }
+        coo.to_csr()
+    };
+    let mut f = LdlFactor::new(&build(4.0), OrderingKind::Natural).unwrap();
+    f.corrupt_level_for_test(4, 9);
+    let _ = f.refactor_partial(&build(5.0), &[5], 1.0);
+}
+
 /// Disjoint dispatches of every shape stay silent at every width.
 #[test]
 fn clean_dispatches_pass_at_all_widths() {

@@ -4,10 +4,12 @@
 //! see: every `unsafe` site documents its obligation, the f64 kernels
 //! never contract into FMA (bit-exactness), `#[target_feature]` functions
 //! are only reachable through the detection-guarded dispatch module,
-//! library code never panics through `unwrap`/`expect`, and environment
-//! reads go through the sanctioned config sites. This crate enforces all
-//! five mechanically, with `file:line` findings and a `lint.toml`
-//! allowlist for the (rare) justified exception.
+//! library code never panics through `unwrap`/`expect`, environment
+//! reads go through the sanctioned config sites, and shared mutable
+//! state never leaks out as `static mut` or an unsanctioned
+//! `UnsafeCell`. This crate enforces all six mechanically, with
+//! `file:line` findings and a `lint.toml` allowlist for the (rare)
+//! justified exception.
 //!
 //! The build environment has no registry access, so there is no `syn`
 //! here: a small comment/string/char-aware lexer masks out non-code text
@@ -250,7 +252,7 @@ fn prev_nonspace(line: &str, upto: usize) -> Option<char> {
 // Rules
 // ---------------------------------------------------------------------------
 
-/// The five enforced invariants. String ids are what `--disable` and the
+/// The six enforced invariants. String ids are what `--disable` and the
 /// allowlist use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
@@ -268,15 +270,21 @@ pub enum Rule {
     NoUnwrap,
     /// `std::env::var` / `var_os` reads confined to allowlisted files.
     EnvReads,
+    /// No `static mut` items anywhere, and no `UnsafeCell` outside the
+    /// sanctioned interior-mutability sites — the lexer cannot do escape
+    /// analysis, so possession is what trips, with `cell-allow` naming
+    /// the files whose cells are audited by hand.
+    StaticMut,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::UnsafeSafety,
         Rule::NoFma,
         Rule::TargetFeature,
         Rule::NoUnwrap,
         Rule::EnvReads,
+        Rule::StaticMut,
     ];
 
     pub fn id(self) -> &'static str {
@@ -286,6 +294,7 @@ impl Rule {
             Rule::TargetFeature => "target-feature-callers",
             Rule::NoUnwrap => "no-unwrap",
             Rule::EnvReads => "env-reads",
+            Rule::StaticMut => "static-mut-escape",
         }
     }
 
@@ -331,6 +340,9 @@ pub struct Config {
     pub unwrap_paths: Vec<String>,
     /// Files allowed to read environment variables.
     pub env_allow: Vec<String>,
+    /// Files allowed to name `UnsafeCell` (sanctioned interior-mutability
+    /// sites). `static mut` has no sanctioned home.
+    pub cell_allow: Vec<String>,
     /// Path prefixes to skip entirely.
     pub exclude: Vec<String>,
     /// Justified exceptions, as `path:line:rule-id` entries. Entries that
@@ -346,6 +358,7 @@ impl Default for Config {
             dispatch_files: Vec::new(),
             unwrap_paths: Vec::new(),
             env_allow: Vec::new(),
+            cell_allow: Vec::new(),
             exclude: Vec::new(),
             allow: Vec::new(),
         }
@@ -414,6 +427,7 @@ impl Config {
             }
             ("no-unwrap", "paths") => self.unwrap_paths = parse_string_array(value)?,
             ("env-reads", "allow") => self.env_allow = parse_string_array(value)?,
+            ("static-mut-escape", "cell-allow") => self.cell_allow = parse_string_array(value)?,
             ("exclude", "paths") => self.exclude = parse_string_array(value)?,
             ("allow", "findings") => self.allow = parse_string_array(value)?,
             _ => return Err(format!("unknown key `{key}` in section `[{section}]`")),
@@ -575,6 +589,9 @@ pub fn check_file(fv: &FileView, cfg: &Config, disabled: &[String]) -> Vec<Findi
     if enabled(Rule::EnvReads) && !cfg.env_allow.contains(&fv.rel) {
         check_env_reads(fv, &mut out);
     }
+    if enabled(Rule::StaticMut) {
+        check_static_mut(fv, cfg, &mut out);
+    }
     out
 }
 
@@ -659,6 +676,37 @@ fn check_env_reads(fv: &FileView, out: &mut Vec<Finding>) {
                           through `sass_sparse::config`"
                     .to_string(),
             });
+        }
+    }
+}
+
+fn check_static_mut(fv: &FileView, cfg: &Config, out: &mut Vec<Finding>) {
+    let cell_sanctioned = cfg.cell_allow.contains(&fv.rel);
+    for (i, lv) in fv.lines.iter().enumerate() {
+        let ids = idents(&lv.code);
+        for (k, &(_, w)) in ids.iter().enumerate() {
+            if w == "static" && ids.get(k + 1).map(|&(_, w2)| w2) == Some("mut") {
+                out.push(Finding {
+                    file: fv.rel.clone(),
+                    line: i + 1,
+                    rule: Rule::StaticMut.id(),
+                    message: "`static mut` is mutable global state no tracker can see; \
+                              use an atomic, a lock, or pool-owned storage"
+                        .to_string(),
+                });
+            }
+            if (w == "UnsafeCell" || w == "SyncUnsafeCell") && !cell_sanctioned {
+                out.push(Finding {
+                    file: fv.rel.clone(),
+                    line: i + 1,
+                    rule: Rule::StaticMut.id(),
+                    message: format!(
+                        "`{w}` outside the sanctioned interior-mutability sites; route \
+                         shared mutation through the pool's sync primitives or add this \
+                         file to `cell-allow` with an audit note"
+                    ),
+                });
+            }
         }
     }
 }

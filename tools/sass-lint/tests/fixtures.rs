@@ -72,6 +72,14 @@ fn no_unwrap_fixture() {
 }
 
 #[test]
+fn static_mut_escape_fixture() {
+    let rule = Rule::StaticMut;
+    let cfg = Config::default();
+    assert_trips_only_in(&run_rule(rule, &cfg), rule);
+    assert!(run_all_disabled(rule, &cfg).is_empty());
+}
+
+#[test]
 fn env_reads_fixture() {
     let rule = Rule::EnvReads;
     let cfg = Config::default();

@@ -1,0 +1,13 @@
+// Fixture: an immutable static behind an atomic passes
+// `static-mut-escape`; the banned spellings appearing in comments
+// ("static mut", "UnsafeCell") or strings must not count, and a
+// `static` item that is not `mut` is fine.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EDIT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    let doc = "never declare static mut or UnsafeCell here";
+    let _ = doc;
+    EDIT_COUNTER.fetch_add(1, Ordering::Relaxed)
+}

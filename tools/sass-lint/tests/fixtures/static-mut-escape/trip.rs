@@ -1,0 +1,8 @@
+// Fixture: a `static mut` item and an unsanctioned `UnsafeCell` must
+// both trip `static-mut-escape` (the `use` line counts too: naming the
+// type at all is what the rule gates on).
+use core::cell::UnsafeCell;
+
+static mut EDIT_COUNTER: u64 = 0;
+
+pub struct SharedSlot(UnsafeCell<f64>);

@@ -1,0 +1,146 @@
+//! Sharded substructured solves: domain-decomposed LDLᵀ build and solve
+//! latency vs the monolithic grounded factor.
+//!
+//! Small-tier [`shard_cases_small`] workloads (2-D mesh, 3-D mesh,
+//! circuit grid — each paired with its domain count); per workload:
+//!
+//! - `build/monolithic`: one grounded LDLᵀ of the whole Laplacian
+//!   ([`GroundedSolver::new`]) — the baseline the sharded build's
+//!   per-domain scaling is judged against;
+//! - `build/sharded_w{1,2,4}`: [`ShardedSolver::new`] at forced pool
+//!   widths — per-domain factorization plus separator Schur assembly
+//!   fan out on the pool, so these rows are the per-domain
+//!   factorization-scaling measurement (on a single-core host they show
+//!   pure dispatch overhead; the speedup needs real cores);
+//! - `solve/monolithic` vs `solve/sharded`: single-RHS solve latency
+//!   (the sharded path pays the two-pass domain sweep plus the dense
+//!   separator solve).
+//!
+//! Before timing, each workload asserts the sharded answer agrees with
+//! the monolithic one within the documented `1e-8` relative tolerance,
+//! and a `shard/ooc/<case>` summary record captures out-of-core
+//! residency: peak resident domain memory vs the monolithic factor's
+//! `memory_bytes()`. Record the baseline with
+//!
+//! ```text
+//! CRITERION_JSON=BENCH_SHARD.json cargo bench -p sass-bench --bench shard
+//! ```
+//!
+//! (the full-size rows come from `--bin shard`, which records the same
+//! schema on the larger-than-cache catalog).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sass_bench::{record_simd_provenance, workloads::shard_cases_small};
+use sass_solver::{GroundedSolver, ShardOptions, ShardedSolver};
+use sass_sparse::ordering::OrderingKind;
+use sass_sparse::{dense, pool};
+
+fn bench_shard(c: &mut Criterion) {
+    record_simd_provenance("shard");
+    let mut group = c.benchmark_group("shard");
+    group.sample_size(10);
+    for (w, k) in shard_cases_small() {
+        let name = w.name;
+        let l = w.graph.laplacian();
+        let n = l.nrows();
+        let opts = ShardOptions {
+            domains: k,
+            out_of_core: false,
+            spill_dir: None,
+        };
+        let mono = GroundedSolver::new(&l, OrderingKind::MinDegree).expect("monolithic factor");
+        let sharded =
+            ShardedSolver::new(&l, OrderingKind::MinDegree, &opts).expect("sharded factor");
+        eprintln!(
+            "[{name}] n = {n}, domains = {}, separator = {}, \
+             monolithic factor = {} B, sharded resident = {} B",
+            sharded.domain_count(),
+            sharded.separator_len(),
+            mono.memory_bytes(),
+            sharded.memory_bytes(),
+        );
+        let mut b: Vec<f64> = (0..n).map(|i| ((i * 3 + 1) as f64 * 0.17).sin()).collect();
+        dense::center(&mut b);
+        // Parity guard: the timed rows must be measuring the same answer
+        // (tolerance contract from sass_solver::substructure).
+        assert!(
+            dense::rel_diff(&mono.solve(&b), &sharded.solve(&b)) < 1e-8,
+            "[{name}] sharded/monolithic disagreement"
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("build/monolithic", name),
+            &(),
+            |bch, ()| {
+                bch.iter(|| {
+                    black_box(
+                        GroundedSolver::new(&l, OrderingKind::MinDegree)
+                            .expect("monolithic factor")
+                            .memory_bytes(),
+                    )
+                })
+            },
+        );
+        for width in [1usize, 2, 4] {
+            pool::set_threads(width);
+            group.bench_with_input(
+                BenchmarkId::new(format!("build/sharded_w{width}"), name),
+                &(),
+                |bch, ()| {
+                    bch.iter(|| {
+                        black_box(
+                            ShardedSolver::new(&l, OrderingKind::MinDegree, &opts)
+                                .expect("sharded factor")
+                                .factor_bytes(),
+                        )
+                    })
+                },
+            );
+            pool::set_threads(0);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("solve/monolithic", name),
+            &(),
+            |bch, ()| bch.iter(|| black_box(mono.solve(&b)[0])),
+        );
+        group.bench_with_input(BenchmarkId::new("solve/sharded", name), &(), |bch, ()| {
+            bch.iter(|| black_box(sharded.solve(&b)[0]))
+        });
+
+        // Out-of-core residency summary: at most one domain resident, so
+        // peak resident domain memory must undercut the monolithic factor.
+        let ooc = ShardedSolver::new(
+            &l,
+            OrderingKind::MinDegree,
+            &ShardOptions {
+                domains: k,
+                out_of_core: true,
+                spill_dir: None,
+            },
+        )
+        .expect("out-of-core factor");
+        assert!(
+            dense::rel_diff(&mono.solve(&b), &ooc.solve(&b)) < 1e-8,
+            "[{name}] out-of-core disagreement"
+        );
+        eprintln!(
+            "[{name}] ooc peak resident = {} B (monolithic factor {} B)",
+            ooc.peak_resident_bytes(),
+            mono.memory_bytes(),
+        );
+        sass_bench::append_json_record(&format!(
+            "{{\"id\":\"shard/ooc/{name}\",\"n\":{n},\"domains\":{domains},\
+             \"separator\":{sep},\"monolithic_factor_bytes\":{mono_b},\
+             \"in_core_resident_bytes\":{ic_b},\"ooc_peak_resident_bytes\":{peak}}}",
+            domains = ooc.domain_count(),
+            sep = ooc.separator_len(),
+            mono_b = mono.memory_bytes(),
+            ic_b = sharded.memory_bytes(),
+            peak = ooc.peak_resident_bytes(),
+        ));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Sharded substructured solves on the full-size catalog: per-domain
+//! factorization wall-clock scaling with worker count and out-of-core
+//! peak residency (the ROADMAP "sharded solves" headline numbers).
+//!
+//! Every [`shard_cases`] workload — the headline `mesh2d-260x240` row is
+//! sized so its monolithic grounded factor exceeds last-level cache — is
+//! built through the `sass_core` opt-in routing
+//! ([`SparsifierSolver::build`] with [`SolveStrategy::Sharded`], the
+//! same path a pipeline consumer takes via
+//! `SparsifyConfig::with_solve_strategy`):
+//!
+//! - `TM (MM)`: monolithic grounded factor build time and factor memory;
+//! - `w1/w2/w4/w8`: sharded build time at forced pool widths (per-domain
+//!   factorization plus Schur assembly fan out on the pool; on a
+//!   single-core host these rows show dispatch overhead — the scaling
+//!   needs real cores);
+//! - `OOC peak`: peak resident domain memory (matrix + factor of the one
+//!   resident domain) of the out-of-core build — the acceptance bar is
+//!   `OOC peak < MM`;
+//! - `agree`: relative difference between the sharded and monolithic
+//!   answers on one exact solve (documented contract: `≤ 1e-8`).
+//!
+//! With `CRITERION_JSON` set, one `shard/factor_scaling/<case>/…` record
+//! per width and one `shard/ooc/<case>` record per workload are appended.
+//! The committed baseline is recorded with
+//!
+//! ```text
+//! CRITERION_JSON=BENCH_SHARD.json cargo run -p sass-bench --release --bin shard
+//! ```
+
+use sass_bench::workloads::shard_cases;
+use sass_bench::{append_json_record, fmt_mib, fmt_secs, timeit, Table};
+use sass_core::{SolveStrategy, SparsifierSolver, SparsifyConfig};
+use sass_sparse::{dense, pool};
+
+/// Builds the solver for `l` through the core routing; `σ²` is irrelevant
+/// here (the strategy only consumes `ordering` and `solve_strategy`).
+fn build(l: &sass_sparse::CsrMatrix, strategy: SolveStrategy) -> SparsifierSolver {
+    let config = SparsifyConfig::default().with_solve_strategy(strategy);
+    SparsifierSolver::build(l, &config).expect("solver build")
+}
+
+fn main() {
+    println!("Sharded substructured solves: factorization scaling and out-of-core residency");
+    println!("(vertex-separator domains, per-domain LDL^T, dense separator Schur complement)\n");
+    let mut table = Table::new([
+        "case", "|V|", "k", "sep", "TM (MM)", "w1", "w2", "w4", "w8", "OOC peak", "agree",
+    ]);
+    for (w, k) in shard_cases() {
+        let g = &w.graph;
+        let l = g.laplacian();
+        let name = w.name;
+        let (mono, tm) = timeit(|| build(&l, SolveStrategy::Monolithic));
+        let mm = mono.memory_bytes();
+        append_json_record(&format!(
+            "{{\"id\":\"shard/factor_scaling/{name}/monolithic\",\
+             \"build_ns\":{},\"factor_bytes\":{mm}}}",
+            tm.as_nanos(),
+        ));
+
+        let sharded_strategy = SolveStrategy::Sharded {
+            domains: k,
+            out_of_core: false,
+        };
+        let mut widths = Vec::new();
+        let mut sharded = None;
+        for width in [1usize, 2, 4, 8] {
+            pool::set_threads(width);
+            let (s, t) = timeit(|| build(&l, sharded_strategy));
+            pool::set_threads(0);
+            if let SparsifierSolver::Sharded(s) = &s {
+                append_json_record(&format!(
+                    "{{\"id\":\"shard/factor_scaling/{name}/w{width}\",\
+                     \"build_ns\":{},\"domains\":{},\"separator\":{},\
+                     \"factor_bytes\":{}}}",
+                    t.as_nanos(),
+                    s.domain_count(),
+                    s.separator_len(),
+                    s.factor_bytes(),
+                ));
+            }
+            widths.push(t);
+            sharded = Some(s);
+        }
+        let sharded = sharded.expect("at least one sharded build");
+
+        let (ooc, _) = timeit(|| {
+            build(
+                &l,
+                SolveStrategy::Sharded {
+                    domains: k,
+                    out_of_core: true,
+                },
+            )
+        });
+
+        let mut b: Vec<f64> = (0..g.n())
+            .map(|i| ((i * 7 + 3) as f64 * 0.19).sin())
+            .collect();
+        dense::center(&mut b);
+        let xm = mono.solve(&b);
+        let agree = dense::rel_diff(&xm, &sharded.solve(&b));
+        let agree_ooc = dense::rel_diff(&xm, &ooc.solve(&b));
+        assert!(
+            agree < 1e-8 && agree_ooc < 1e-8,
+            "[{name}] sharded/monolithic disagreement: {agree:.2e} / {agree_ooc:.2e}"
+        );
+
+        let (kk, sep, peak) = match (&sharded, &ooc) {
+            (SparsifierSolver::Sharded(s), SparsifierSolver::Sharded(o)) => {
+                (s.domain_count(), s.separator_len(), o.peak_resident_bytes())
+            }
+            _ => unreachable!("sharded strategy builds sharded solvers"),
+        };
+        assert!(
+            peak < mm,
+            "[{name}] ooc peak resident {peak} B !< monolithic factor {mm} B"
+        );
+        append_json_record(&format!(
+            "{{\"id\":\"shard/ooc/{name}\",\"n\":{},\"domains\":{kk},\
+             \"separator\":{sep},\"monolithic_factor_bytes\":{mm},\
+             \"in_core_resident_bytes\":{},\"ooc_peak_resident_bytes\":{peak},\
+             \"agreement_rel_diff\":{agree:e},\"ooc_agreement_rel_diff\":{agree_ooc:e}}}",
+            g.n(),
+            sharded.memory_bytes(),
+        ));
+        table.row([
+            name.to_string(),
+            g.n().to_string(),
+            kk.to_string(),
+            sep.to_string(),
+            format!("{} ({})", fmt_secs(tm), fmt_mib(mm)),
+            fmt_secs(widths[0]),
+            fmt_secs(widths[1]),
+            fmt_secs(widths[2]),
+            fmt_secs(widths[3]),
+            fmt_mib(peak),
+            format!("{agree:.1e}"),
+        ]);
+        eprintln!(
+            "  [{name}] done (ooc peak {} vs monolithic {})",
+            fmt_mib(peak),
+            fmt_mib(mm)
+        );
+    }
+    println!("{}", table.render());
+    println!("notes: TM = monolithic grounded factor build (MM its factor memory);");
+    println!("w1..w8 = sharded build at forced pool widths (per-domain factors + Schur");
+    println!("assembly on the pool); OOC peak = peak resident domain memory out-of-core;");
+    println!("agree = relative difference vs the monolithic answer (contract: <= 1e-8).");
+}

@@ -54,12 +54,14 @@ pub mod extremes;
 pub mod filter;
 pub mod incremental;
 pub mod similarity;
+pub mod solve;
 
 pub use config::SparsifyConfig;
 pub use densify::sparsify;
 pub use error::CoreError;
 pub use incremental::{ChurnReport, ChurnTotals, IncrementalSparsifier};
 pub use similarity::SimilarityPolicy;
+pub use solve::{SolveStrategy, SparsifierSolver};
 pub use sparsifier::{RoundStats, Sparsifier};
 
 /// Crate-wide result alias.

@@ -10,7 +10,10 @@
 //!    re-centering solutions against the all-ones nullspace.
 //!    [`TreeSolver`] is the O(n) special case for spanning-tree Laplacians,
 //!    and [`AmgPrec`] the aggregation-based algebraic-multigrid alternative
-//!    (the paper's LAMG/SAMG role).
+//!    (the paper's LAMG/SAMG role). [`ShardedSolver`] ([`substructure`]) is
+//!    the domain-decomposed variant: per-domain LDLᵀ factors around a
+//!    separator Schur complement, with an out-of-core mode that keeps at
+//!    most one domain factor resident.
 //! 2. **Iterative solves with the original graph** `L_G x = b` — the
 //!    preconditioned conjugate gradient ([`pcg`]) with a pluggable
 //!    [`Preconditioner`] (identity, Jacobi, grounded-Cholesky of a
@@ -47,6 +50,7 @@ mod error;
 mod grounded;
 mod pcg;
 mod preconditioner;
+pub mod substructure;
 mod tree_solver;
 
 pub use amg::{AmgOptions, AmgPrec};
@@ -58,8 +62,10 @@ pub use grounded::{GroundedScratch, GroundedSolver};
 pub use pcg::{pcg, pcg_scratch, pcg_with_x0, PcgOptions, PcgScratch, SolveStats};
 pub use preconditioner::{IdentityPrec, JacobiPrec, LaplacianPrec, Preconditioner, TreePrec};
 // Re-exported so batched-solve call sites ([`GroundedSolver::solve_block`])
-// can name the multivector type without importing sass-sparse directly.
-pub use sass_sparse::{DenseBlock, LinearOperator};
+// can name the multivector type without importing sass-sparse directly — and
+// so sharded-solver call sites can name its construction knobs.
+pub use sass_sparse::{DenseBlock, LinearOperator, ShardOptions};
+pub use substructure::ShardedSolver;
 pub use tree_solver::TreeSolver;
 
 /// Crate-wide result alias.

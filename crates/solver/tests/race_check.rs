@@ -1,0 +1,109 @@
+//! Canaries and transparency checks for the sharded solver's per-domain
+//! pool dispatches under the `race-check` shadow write-set tracker.
+//!
+//! The substructured solver fans out over *domain spans* through
+//! `parallel_for_with_scratch` twice per solve (gather → per-domain solve
+//! → coupling, then the back-substitution pass) and once per build (the
+//! per-domain factorizations); none of those dispatches has upfront span
+//! validation, so the tracker is the only line of defense against
+//! overlapping-domain writes. The canaries prove it fires; the
+//! transparency tests prove the armed tracker changes nothing on the
+//! clean path at every forced width.
+//!
+//! Compiled only with `--features race-check`; CI runs it in the
+//! feature-matrix `race-check` lane.
+#![cfg(feature = "race-check")]
+
+use sass_graph::generators::{circuit_grid, grid2d, WeightModel};
+use sass_solver::{GroundedSolver, ShardOptions, ShardedSolver};
+use sass_sparse::ordering::OrderingKind;
+use sass_sparse::pool::{self, Pool};
+use sass_sparse::{dense, CsrMatrix};
+
+const WIDTHS: [usize; 4] = [1, 2, 3, 8];
+
+fn opts(domains: usize, out_of_core: bool) -> ShardOptions {
+    ShardOptions {
+        domains,
+        out_of_core,
+        spill_dir: None,
+    }
+}
+
+fn sharded(l: &CsrMatrix, domains: usize) -> ShardedSolver {
+    ShardedSolver::new(l, OrderingKind::MinDegree, &opts(domains, false)).expect("sharded build")
+}
+
+/// The overlapping-domain canary: sliding one domain span into its
+/// neighbor (the corruption hook reproduces exactly what a partitioning
+/// bug would hand the solve fan-out) must trip the tracker — the
+/// per-domain slot writes are no longer disjoint in tracker terms.
+#[test]
+#[should_panic(expected = "race-check")]
+fn corrupted_domain_spans_trip_the_tracker_on_solve() {
+    let g = grid2d(12, 12, WeightModel::Unit, 3);
+    let l = g.laplacian();
+    let mut s = sharded(&l, 4);
+    s.corrupt_domain_spans_for_test();
+    let _ = s.solve(&vec![1.0; g.n()]);
+}
+
+/// Same canary through the blocked multi-RHS entry point, which reuses
+/// the identical per-domain fan-out.
+#[test]
+#[should_panic(expected = "race-check")]
+fn corrupted_domain_spans_trip_the_tracker_on_solve_many() {
+    let g = circuit_grid(10, 10, 0.15, 5);
+    let l = g.laplacian();
+    let mut s = sharded(&l, 3);
+    s.corrupt_domain_spans_for_test();
+    let _ = s.solve_many(&[vec![1.0; g.n()], vec![-1.0; g.n()]]);
+}
+
+/// The factorization fan-out's dispatch shape — per-domain factor slots
+/// handed out by span — with two domains overlapping by one vertex, as
+/// an off-by-one in the separator renumbering would produce.
+#[test]
+#[should_panic(expected = "race-check")]
+fn overlapping_factor_fanout_spans_trip_the_tracker() {
+    let pool = Pool::with_threads(2);
+    let mut slots: Vec<Option<usize>> = vec![None; 2];
+    pool.parallel_for_with_scratch(&[(0, 10), (9, 20)], &mut slots, |d, _, slot| {
+        *slot = Some(d);
+    });
+}
+
+/// Transparency: with the tracker armed, build + both solve paths + the
+/// out-of-core reload stay silent at every forced width and return
+/// bit-identical answers (the sharded solver's determinism contract).
+#[test]
+fn sharded_paths_stay_silent_and_deterministic_under_tracker() {
+    let g = grid2d(14, 10, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 9);
+    let l = g.laplacian();
+    let grounded = GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap();
+    let mut b: Vec<f64> = (0..g.n())
+        .map(|i| ((i * 3 + 1) as f64 * 0.29).cos())
+        .collect();
+    dense::center(&mut b);
+    let reference = grounded.solve(&b);
+    let mut first: Option<Vec<f64>> = None;
+    for w in WIDTHS {
+        pool::set_threads(w);
+        let s = sharded(&l, 4);
+        let x = s.solve(&b);
+        assert_eq!(
+            s.solve_many(&[b.clone()])[0],
+            x,
+            "width {w}: solve_many diverged"
+        );
+        let ooc = ShardedSolver::new(&l, OrderingKind::MinDegree, &opts(4, true))
+            .expect("out-of-core build");
+        assert!(dense::rel_diff(&x, &ooc.solve(&b)) < 1e-12, "width {w}");
+        pool::set_threads(0);
+        assert!(dense::rel_diff(&reference, &x) < 1e-8, "width {w}");
+        match &first {
+            None => first = Some(x),
+            Some(x0) => assert_eq!(x0, &x, "width {w} not bit-identical"),
+        }
+    }
+}

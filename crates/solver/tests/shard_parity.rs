@@ -1,0 +1,150 @@
+//! Property tests pinning [`ShardedSolver`] to [`GroundedSolver`] across
+//! the table-workload shapes (2-D mesh, scale-free, circuit grid) at
+//! forced pool widths 1/2/3/8 — the substructured path must reproduce the
+//! monolithic grounded answer within the documented `1e-8` relative
+//! tolerance, bit-identically across worker counts (span-ordered
+//! deterministic fan-in), with the degenerate single-domain,
+//! empty-separator, and out-of-core configurations all round-tripping.
+
+use proptest::prelude::*;
+use sass_graph::generators::{barabasi_albert, circuit_grid, grid2d, WeightModel};
+use sass_graph::Graph;
+use sass_solver::{GroundedSolver, ShardOptions, ShardedSolver};
+use sass_sparse::ordering::OrderingKind;
+use sass_sparse::{dense, pool};
+
+/// Forced global pool widths: degenerate, even, odd, oversubscribed (the
+/// same sweep as the race-check CI lane).
+const WIDTHS: [usize; 4] = [1, 2, 3, 8];
+/// The documented agreement contract vs the monolithic grounded answer
+/// (see `sass_solver::substructure`).
+const TOL: f64 = 1e-8;
+
+fn opts(domains: usize, out_of_core: bool) -> ShardOptions {
+    ShardOptions {
+        domains,
+        out_of_core,
+        spill_dir: None,
+    }
+}
+
+/// Strategy over the three table-workload shapes at proptest scale.
+fn table_shapes() -> impl Strategy<Value = Graph> {
+    (0usize..3, 0u64..(1 << 16), 4usize..13, 4usize..11).prop_map(|(shape, seed, a, b)| match shape
+    {
+        0 => grid2d(a, b, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, seed),
+        1 => barabasi_albert(8 * a + b, 2, seed),
+        _ => circuit_grid(a, b, 0.15, seed),
+    })
+}
+
+/// A deterministic centered probe right-hand side.
+fn probe_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut b: Vec<f64> = (0..n)
+        .map(|i| ((i as u64 * 7 + seed * 13 + 1) as f64 * 0.37).sin())
+        .collect();
+    dense::center(&mut b);
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole parity guarantee: at every forced pool width the
+    /// sharded answer agrees with the grounded one within [`TOL`], and
+    /// the sharded answers are bit-identical across widths.
+    #[test]
+    fn sharded_matches_grounded_at_forced_widths(g in table_shapes(), k in 2usize..6) {
+        let l = g.laplacian();
+        let grounded = GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap();
+        let b = probe_rhs(g.n(), k as u64);
+        let reference = grounded.solve(&b);
+        let mut first: Option<Vec<f64>> = None;
+        for w in WIDTHS {
+            pool::set_threads(w);
+            let sharded = ShardedSolver::new(&l, OrderingKind::MinDegree, &opts(k, false))
+                .expect("sharded build");
+            let x = sharded.solve(&b);
+            pool::set_threads(0);
+            let rel = dense::rel_diff(&reference, &x);
+            prop_assert!(rel < TOL, "width {}: rel diff {:.3e}", w, rel);
+            match &first {
+                None => first = Some(x),
+                Some(x0) => prop_assert_eq!(x0, &x, "width {} not bit-identical", w),
+            }
+        }
+    }
+
+    /// The blocked multi-RHS path agrees column by column too.
+    #[test]
+    fn sharded_solve_many_matches_grounded(g in table_shapes(), k in 2usize..6, seed in 0u64..512) {
+        let l = g.laplacian();
+        let grounded = GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap();
+        let sharded = ShardedSolver::new(&l, OrderingKind::MinDegree, &opts(k, false))
+            .expect("sharded build");
+        let rhs: Vec<Vec<f64>> = (0..5).map(|j| probe_rhs(g.n(), seed + j)).collect();
+        let want = grounded.solve_many(&rhs);
+        let got = sharded.solve_many(&rhs);
+        prop_assert_eq!(got.len(), want.len());
+        for (w, x) in want.iter().zip(&got) {
+            prop_assert!(dense::rel_diff(w, x) < TOL);
+        }
+    }
+
+    /// `k = 1` degenerates to one domain with an empty separator and must
+    /// still reproduce the grounded answer (no Schur complement at all).
+    #[test]
+    fn single_domain_is_degenerate_but_exact(g in table_shapes()) {
+        let l = g.laplacian();
+        let sharded = ShardedSolver::new(&l, OrderingKind::MinDegree, &opts(1, false))
+            .expect("sharded build");
+        prop_assert_eq!(sharded.domain_count(), 1);
+        prop_assert_eq!(sharded.separator_len(), 0);
+        let grounded = GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap();
+        let b = probe_rhs(g.n(), 1);
+        prop_assert!(dense::rel_diff(&grounded.solve(&b), &sharded.solve(&b)) < TOL);
+    }
+
+    /// Out-of-core round-trip: spilled domains reload to the same answer
+    /// (same factors, so far tighter than the cross-backend tolerance),
+    /// and residency bookkeeping reports a positive spilled peak.
+    #[test]
+    fn out_of_core_round_trips(g in table_shapes(), k in 2usize..5) {
+        let l = g.laplacian();
+        let in_core = ShardedSolver::new(&l, OrderingKind::MinDegree, &opts(k, false))
+            .expect("in-core build");
+        let ooc = ShardedSolver::new(&l, OrderingKind::MinDegree, &opts(k, true))
+            .expect("out-of-core build");
+        prop_assert!(ooc.is_out_of_core());
+        prop_assert!(!in_core.is_out_of_core());
+        prop_assert!(ooc.peak_resident_bytes() > 0);
+        let b = probe_rhs(g.n(), k as u64);
+        prop_assert!(dense::rel_diff(&in_core.solve(&b), &ooc.solve(&b)) < 1e-12);
+    }
+}
+
+/// The empty-separator free-split case at `k > 1`: grounding a star's hub
+/// leaves the reduced pattern with no edges at all, so every bisection
+/// splits regions for free and the separator stays empty — yet the solver
+/// must still match the grounded answer on the *connected* original graph.
+#[test]
+fn star_hub_grounding_yields_empty_separator_at_k_gt_1() {
+    let n = 9;
+    let edges: Vec<(usize, usize, f64)> = (1..n).map(|v| (0, v, 1.0 + 0.1 * v as f64)).collect();
+    let g = Graph::from_edges(n, &edges).expect("star graph");
+    let l = g.laplacian();
+    let sharded =
+        ShardedSolver::new(&l, OrderingKind::MinDegree, &opts(4, false)).expect("sharded build");
+    assert_eq!(
+        sharded.separator_len(),
+        0,
+        "free splits consume no separator"
+    );
+    assert!(
+        sharded.domain_count() > 1,
+        "the reduced diagonal must split"
+    );
+    let grounded = GroundedSolver::new(&l, OrderingKind::MinDegree).unwrap();
+    let b = probe_rhs(n, 7);
+    assert!(dense::rel_diff(&grounded.solve(&b), &sharded.solve(&b)) < TOL);
+}

@@ -14,9 +14,14 @@
 //! Each backend comes in `f64` (default) and, behind the `storage-f32`
 //! feature, `f32` — half the value bandwidth for kernels that only need
 //! ranking precision (the edge filter orders edges by relative heat; it
-//! does not difference them). All `f64` backends produce **bit-for-bit
-//! identical** products at every worker count; the backend-parity
-//! proptests pin that down.
+//! does not difference them). All monolithic `f64` backends produce
+//! **bit-for-bit identical** products at every worker count; the
+//! backend-parity proptests pin that down. The one exception is the
+//! composite [`crate::ShardedBackend`], whose domain rows reassociate
+//! each row sum into (domain columns) + (separator columns) — its
+//! products are deterministic but agree with [`CsrMatrix`] only to
+//! floating-point reassociation tolerance (see the `sharded` module
+//! docs for the exact contract).
 //!
 //! [`SparseBackend`] is deliberately small: construction from the
 //! canonical `f64` CSR assembly (what [`crate::CooMatrix`] and the graph

@@ -13,6 +13,11 @@
 //!   generic over the sealed [`Scalar`] trait (`f64` default, `f32` behind
 //!   the `storage-f32` feature), with bit-identical `f64` products across
 //!   layouts and worker counts,
+//! - [`ShardedBackend`]: a domain-decomposed backend — k per-domain
+//!   blocks (separated by a vertex separator from
+//!   [`ordering::vertex_separator`]) plus separator couplings, with an
+//!   out-of-core mode that spills domain matrices through [`mmio`] and
+//!   keeps at most one non-resident domain loaded at a time,
 //! - [`kernel`]: explicit SIMD microkernels (SSE2/AVX2/NEON behind runtime
 //!   dispatch, `simd` feature, `SASS_NO_SIMD` escape hatch) for the
 //!   stored-scalar hot paths — CSR/BCSR SpMV, the 8-wide LDLᵀ sweeps, the
@@ -79,6 +84,7 @@ mod operator;
 mod parallel;
 mod perm;
 mod scalar;
+mod sharded;
 
 pub mod dense;
 pub mod etree;
@@ -98,6 +104,7 @@ pub use ldl::{LdlFactor, RefactorOutcome, RefactorStats, LDL_BLOCK_WIDTH};
 pub use operator::LinearOperator;
 pub use perm::Permutation;
 pub use scalar::Scalar;
+pub use sharded::{extract_blocks, ShardOptions, ShardedBackend, ShardedBlocks, SpillStore};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SparseError>;

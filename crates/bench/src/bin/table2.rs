@@ -85,7 +85,7 @@ fn main() {
 /// Partial-refactor effectiveness of the incremental layer: a churn
 /// sequence (repeated weight back-annotation on a selected off-tree edge,
 /// then a tree-edge cut and restore) applied to the circuit case, with
-/// the accumulated schedule-reuse [`ChurnTotals`] and the maintained
+/// the accumulated schedule-reuse [`sass_core::ChurnTotals`] and the maintained
 /// factor's memory footprint — the observable behind the etree-subtree
 /// patching claim (columns re-run vs total, fallbacks, free skips).
 fn churn_reuse_diagnostics() {

@@ -1,5 +1,5 @@
 //! The Spielman–Srivastava effective-resistance sampling baseline
-//! (paper reference [17]).
+//! (paper reference \[17\]).
 //!
 //! The classical spectral sparsification alternative to edge filtering:
 //! sample edges with replacement with probability proportional to

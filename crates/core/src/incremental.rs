@@ -10,7 +10,7 @@
 //! re-evaluates against it:
 //!
 //! - The probe iterates ([`probe_embedding`]) and the heat threshold
-//!   `θσ` are computed once at construction (or [`refresh`]) and then
+//!   `θσ` are computed once at construction (or [`IncrementalSparsifier::refresh`]) and then
 //!   **frozen**. Joule heat under a fixed embedding is a pure function
 //!   of each edge's endpoints and weight, so an edit dirties exactly
 //!   the edited edges' heats and no others.
@@ -633,6 +633,27 @@ impl IncrementalSparsifier {
     /// Accumulated schedule-reuse statistics.
     pub fn totals(&self) -> &ChurnTotals {
         &self.totals
+    }
+
+    /// Approximate resident bytes held by the maintained state: the
+    /// grounded factorization, the frozen probe embedding, the cached
+    /// heats, the graph's edge list, and the tree/selection structures.
+    ///
+    /// This is the accounting unit of the `sass-serve` cache's LRU byte
+    /// budget — an estimate of the dominant allocations, not an exact
+    /// allocator measurement.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let embedding = self.embedding.nrows() * self.embedding.ncols() * size_of::<f64>();
+        let heats = self.heats.len() * size_of::<f64>();
+        let edges = self.g.m() * size_of::<sass_graph::Edge>();
+        let ids = (self.tree_ids.len() + self.selected.len()) * size_of::<u32>();
+        // DynamicTree / RootedTree / LcaIndex are O(n) word structures:
+        // parent, depth, weight, and the LCA jump table (~log n levels).
+        let n = self.g.n();
+        let tree_structs =
+            n * size_of::<u64>() * (4 + usize::BITS as usize - n.leading_zeros() as usize);
+        self.solver.memory_bytes() + embedding + heats + edges + ids + tree_structs
     }
 }
 

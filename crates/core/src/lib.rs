@@ -52,6 +52,7 @@ pub mod densify;
 pub mod embedding;
 pub mod extremes;
 pub mod filter;
+pub mod fingerprint;
 pub mod incremental;
 pub mod similarity;
 pub mod solve;
@@ -59,6 +60,7 @@ pub mod solve;
 pub use config::SparsifyConfig;
 pub use densify::sparsify;
 pub use error::CoreError;
+pub use fingerprint::{cache_key, config_fingerprint, graph_fingerprint};
 pub use incremental::{ChurnReport, ChurnTotals, IncrementalSparsifier};
 pub use similarity::SimilarityPolicy;
 pub use solve::{SolveStrategy, SparsifierSolver};

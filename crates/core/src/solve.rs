@@ -14,7 +14,7 @@
 //!   with the monolithic path to the tolerance documented in
 //!   [`sass_solver::substructure`].
 //!
-//! The strategy lives on [`SparsifyConfig`](crate::SparsifyConfig)
+//! The strategy lives on [`SparsifyConfig`]
 //! ([`with_solve_strategy`](crate::SparsifyConfig::with_solve_strategy)),
 //! and [`Sparsifier::build_solver`](crate::Sparsifier::build_solver)
 //! materializes the chosen solver for a finished sparsifier.

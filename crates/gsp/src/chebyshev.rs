@@ -5,7 +5,7 @@
 //! *explicit* counterpart — polynomial approximations `p(L)x` of ideal
 //! spectral filters `h(λ)` — both as a reference to compare sparsifiers
 //! against and as a generally useful GSP primitive (it is the standard
-//! trick behind fast spectral clustering and graph CNNs, paper ref [7]).
+//! trick behind fast spectral clustering and graph CNNs, paper ref \[7\]).
 //!
 //! The filter is evaluated with the three-term Chebyshev recurrence on the
 //! spectrum-normalized operator `2L/λmax − I`; Jackson damping suppresses

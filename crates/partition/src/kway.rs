@@ -41,7 +41,7 @@ impl KwayPartition {
 /// Splits a connected graph into `k` parts by recursive spectral bisection.
 ///
 /// Each bisection uses [`partition`] with the given options — prefer
-/// [`CutRule::Sweep`] here: under recursion, near-degenerate eigenspaces
+/// [`CutRule::Sweep`](crate::CutRule::Sweep) here: under recursion, near-degenerate eigenspaces
 /// (symmetric clusters) rotate the Fiedler vector and the plain sign cut
 /// can bisect through a cluster. Induced subgraphs that come out
 /// disconnected are split along their components first (cheaper and

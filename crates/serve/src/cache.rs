@@ -1,0 +1,237 @@
+//! Content-addressed LRU cache of live sparsifiers.
+//!
+//! Entries are keyed by [`sass_core::cache_key`] — a fingerprint of the
+//! *canonical* graph plus every pipeline knob — so resubmitting the same
+//! graph (in any edge order) with the same parameters lands on the same
+//! warm factorization, while any change to either builds a distinct
+//! entry. Each entry is a full [`IncrementalSparsifier`], which is what
+//! makes serve-side mutation proportional to the change: a mutate
+//! request routes through
+//! [`apply_edits`](IncrementalSparsifier::apply_edits) on the live
+//! entry (localized re-scoring + etree-subtree factor patching) instead
+//! of rebuilding, and the entry is simply *re-keyed* to the edited
+//! graph's fingerprint.
+//!
+//! Residency is bounded by a byte budget measured with
+//! [`IncrementalSparsifier::memory_bytes`]: once the total crosses the
+//! budget, least-recently-used entries are dropped. The entry being
+//! inserted or touched is always protected, so a single oversized
+//! sparsifier is still served (one entry may exceed the budget alone —
+//! the budget bounds hoarding, it does not reject work).
+
+use std::collections::HashMap;
+
+use sass_core::IncrementalSparsifier;
+
+/// One resident sparsifier plus its LRU bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    sparsifier: IncrementalSparsifier,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// LRU byte-budgeted map from cache key to live sparsifier.
+///
+/// Not internally synchronized — the server wraps it in its shared
+/// state lock.
+#[derive(Debug)]
+pub struct SparsifierCache {
+    entries: HashMap<u64, Entry>,
+    budget_bytes: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl SparsifierCache {
+    /// Creates an empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        SparsifierCache {
+            entries: HashMap::new(),
+            budget_bytes,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Approximate resident bytes across live entries (re-measured on
+    /// insert and after every mutation).
+    pub fn resident_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// Entries evicted by the byte budget since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether an entry exists under `key` (does not touch LRU order).
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Shared access to the entry under `key`, marking it as just used.
+    pub fn get(&mut self, key: u64) -> Option<&IncrementalSparsifier> {
+        let tick = self.next_tick();
+        let e = self.entries.get_mut(&key)?;
+        e.last_used = tick;
+        Some(&e.sparsifier)
+    }
+
+    /// Exclusive access to the entry under `key`, marking it as just
+    /// used. The caller must follow a mutation with [`Self::rekey`] so
+    /// the key and byte accounting track the edited graph.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut IncrementalSparsifier> {
+        let tick = self.next_tick();
+        let e = self.entries.get_mut(&key)?;
+        e.last_used = tick;
+        Some(&mut e.sparsifier)
+    }
+
+    /// Inserts (or replaces) the entry under `key` and enforces the
+    /// byte budget, never evicting the entry just inserted.
+    pub fn insert(&mut self, key: u64, sparsifier: IncrementalSparsifier) {
+        let tick = self.next_tick();
+        let bytes = sparsifier.memory_bytes();
+        self.entries.insert(
+            key,
+            Entry {
+                sparsifier,
+                bytes,
+                last_used: tick,
+            },
+        );
+        self.enforce_budget(key);
+    }
+
+    /// Moves the entry under `old_key` to `new_key` after a mutation,
+    /// re-measuring its footprint (edits change the factor and edge
+    /// list sizes). No-op when no entry lives under `old_key`. If
+    /// `new_key` was already occupied (the edit converged onto another
+    /// cached graph) the mutated entry replaces it — both describe the
+    /// same content.
+    pub fn rekey(&mut self, old_key: u64, new_key: u64) {
+        let Some(mut e) = self.entries.remove(&old_key) else {
+            return;
+        };
+        e.bytes = e.sparsifier.memory_bytes();
+        e.last_used = self.next_tick();
+        self.entries.insert(new_key, e);
+        self.enforce_budget(new_key);
+    }
+
+    /// Drops the entry under `key`; returns whether one existed.
+    pub fn remove(&mut self, key: u64) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+
+    /// Evicts least-recently-used entries until the residency fits the
+    /// budget, always keeping `protect` (so one oversized entry still
+    /// serves).
+    fn enforce_budget(&mut self, protect: u64) {
+        while self.resident_bytes() > self.budget_bytes && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != protect)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass_core::SparsifyConfig;
+    use sass_graph::generators::{grid2d, WeightModel};
+
+    fn build(seed: u64) -> IncrementalSparsifier {
+        let g = grid2d(6, 6, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, seed);
+        IncrementalSparsifier::new(&g, &SparsifyConfig::new(100.0).with_seed(seed))
+            .expect("build sparsifier")
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first_under_budget() {
+        let a = build(1);
+        let one_entry = a.memory_bytes();
+        // Budget fits two entries but not three.
+        let mut cache = SparsifierCache::new(one_entry * 5 / 2);
+        cache.insert(1, a);
+        cache.insert(2, build(2));
+        assert_eq!(cache.len(), 2);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, build(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(1));
+        assert!(!cache.contains(2));
+        assert!(cache.contains(3));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn single_oversized_entry_is_kept() {
+        let mut cache = SparsifierCache::new(1); // absurdly small budget
+        cache.insert(7, build(7));
+        assert_eq!(cache.len(), 1, "the just-inserted entry must survive");
+        assert!(cache.resident_bytes() > cache.budget_bytes());
+    }
+
+    #[test]
+    fn rekey_moves_and_remeasures() {
+        let mut cache = SparsifierCache::new(usize::MAX);
+        cache.insert(1, build(1));
+        let before = cache.resident_bytes();
+        cache
+            .get_mut(1)
+            .expect("entry")
+            .add_edge(0, 35, 1.0)
+            .expect("edit");
+        cache.rekey(1, 2);
+        assert!(!cache.contains(1));
+        assert!(cache.contains(2));
+        // One more edge resident — the re-measure must see it.
+        assert!(cache.resident_bytes() >= before);
+        // Rekey of a missing key is a no-op.
+        cache.rekey(99, 100);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn remove_reports_existence() {
+        let mut cache = SparsifierCache::new(usize::MAX);
+        cache.insert(1, build(1));
+        assert!(cache.remove(1));
+        assert!(!cache.remove(1));
+        assert!(cache.is_empty());
+    }
+}

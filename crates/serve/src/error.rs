@@ -1,0 +1,84 @@
+//! Error type shared by the protocol codec, the client, and the server
+//! plumbing.
+//!
+//! [`ServeError`] covers local failures (I/O, codec violations, frames
+//! over the size limit) plus [`ServeError::Remote`] for structured
+//! error frames the server sent back. Handler-level failures on the
+//! server side never surface as `ServeError` to the peer — they are
+//! encoded as [`Response::Error`](crate::protocol::Response::Error)
+//! frames with an [`ErrorCode`], so a
+//! client can match on the category without parsing message text.
+
+use std::fmt;
+
+use crate::protocol::ErrorCode;
+
+/// Convenience alias used throughout the crate.
+pub type ServeResult<T> = Result<T, ServeError>;
+
+/// Anything that can go wrong speaking the sass-serve protocol.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Underlying stream I/O failed (includes unexpected EOF mid-frame).
+    Io(std::io::Error),
+    /// A frame violated the wire layout (truncated body, bad counts,
+    /// trailing bytes, malformed strings).
+    Protocol {
+        /// What was malformed.
+        context: String,
+    },
+    /// A frame (outgoing or incoming) exceeds the size limit.
+    TooLarge {
+        /// Which limit, and by how much.
+        context: String,
+    },
+    /// The peer speaks a protocol version this library does not.
+    UnsupportedVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The frame kind byte is not known.
+    UnknownKind {
+        /// The kind byte received.
+        kind: u8,
+    },
+    /// The server answered with a structured error frame.
+    Remote {
+        /// Machine-readable category from the error frame.
+        code: ErrorCode,
+        /// Human-readable context from the error frame.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol { context } => write!(f, "protocol violation: {context}"),
+            ServeError::TooLarge { context } => write!(f, "frame too large: {context}"),
+            ServeError::UnsupportedVersion { got } => {
+                write!(f, "unsupported protocol version {got}")
+            }
+            ServeError::UnknownKind { kind } => write!(f, "unknown frame kind {kind:#04x}"),
+            ServeError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,1103 @@
+//! The sass-serve wire protocol: length-prefixed frames over a byte
+//! stream, with hand-rolled little-endian encoding.
+//!
+//! The build environment has no registry access, so there is no serde —
+//! every message is encoded by hand against the layout specified in
+//! `docs/PROTOCOL.md` (that document is the normative reference; this
+//! module is its implementation). The essentials:
+//!
+//! ```text
+//! frame    := len:u32le  payload                (len = payload byte count)
+//! payload  := version:u8  kind:u8  body
+//! ```
+//!
+//! Integers are little-endian; `f64` travels as its IEEE-754 bit pattern
+//! in little-endian byte order (exact — no text round-trip). Requests
+//! carry kinds `0x01..=0x7f`, responses `0x80..=0xff`.
+//!
+//! Decoding is defensive end to end: every read is bounds-checked,
+//! element counts are validated against the remaining payload *before*
+//! any allocation (a hostile count cannot trigger a huge `Vec` reserve),
+//! and trailing garbage after a well-formed body is rejected so frame
+//! corruption surfaces immediately instead of desynchronizing the
+//! stream.
+
+use std::io::{Read, Write};
+
+use crate::{ServeError, ServeResult};
+
+/// Protocol version carried in every frame. See `docs/PROTOCOL.md` for
+/// the versioning rules (a server rejects frames whose version it does
+/// not speak with [`ErrorCode::UnsupportedVersion`]).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling a frame length is validated against before any
+/// allocation, independent of the configured per-server limit.
+pub const MAX_FRAME_BYTES_CEILING: u32 = 1 << 30;
+
+/// Graph payload: vertex count plus an edge list.
+///
+/// The server canonicalizes through [`sass_graph::Graph`] construction
+/// (sorting, merging parallel edges, rejecting self-loops and
+/// non-positive weights), so the wire form does not need to be
+/// canonical — but the cache key is computed from the *canonical* graph,
+/// so equivalent submissions in any edge order share an entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireGraph {
+    /// Vertex count.
+    pub n: u64,
+    /// Undirected weighted edges `(u, v, weight)`.
+    pub edges: Vec<(u32, u32, f64)>,
+}
+
+/// Sparsification parameters a request may set; everything else stays
+/// at the [`sass_core::SparsifyConfig`] defaults.
+///
+/// `sigma2` is the paper's quality/size dial: lower targets keep more
+/// edges and condition the solves better, higher targets sparsify
+/// harder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsifyParams {
+    /// Target spectral similarity `σ²` (must be finite and `> 1`).
+    pub sigma2: f64,
+    /// Seed for the randomized pieces (probe vectors).
+    pub seed: u64,
+}
+
+impl SparsifyParams {
+    /// The corresponding pipeline configuration.
+    pub fn to_config(self) -> sass_core::SparsifyConfig {
+        sass_core::SparsifyConfig::new(self.sigma2).with_seed(self.seed)
+    }
+}
+
+/// One graph edit, mirroring [`sass_graph::GraphEdit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireEdit {
+    /// Insert (or weight-merge onto) edge `{u, v}`.
+    Add {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+        /// Positive finite weight to add.
+        weight: f64,
+    },
+    /// Remove edge `{u, v}` entirely.
+    Remove {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+}
+
+impl WireEdit {
+    /// Converts to the graph layer's edit type.
+    pub fn to_graph_edit(self) -> sass_graph::GraphEdit {
+        match self {
+            WireEdit::Add { u, v, weight } => sass_graph::GraphEdit::AddEdge {
+                u: u as usize,
+                v: v as usize,
+                weight,
+            },
+            WireEdit::Remove { u, v } => sass_graph::GraphEdit::RemoveEdge {
+                u: u as usize,
+                v: v as usize,
+            },
+        }
+    }
+}
+
+/// Structured error category carried in an error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame could not be decoded (bad layout, bad counts,
+    /// trailing bytes). The server closes the connection after this —
+    /// stream framing can no longer be trusted.
+    Malformed = 1,
+    /// The frame's version byte is not spoken by this server.
+    UnsupportedVersion = 2,
+    /// A per-request resource limit was exceeded (frame size, vertex or
+    /// edge count, right-hand-side columns).
+    LimitExceeded = 3,
+    /// No cache entry under the given key (never built, evicted, or
+    /// invalidated) — resubmit the graph via a sparsify request.
+    UnknownKey = 4,
+    /// The solve missed its deadline while queued (the server did not
+    /// start work on it).
+    DeadlineExceeded = 5,
+    /// The submitted graph or parameters were rejected by the pipeline
+    /// (disconnected graph, invalid weights, nonsensical `σ²`, an edit
+    /// batch that disconnects the graph).
+    InvalidGraph = 6,
+    /// Factorization failed on a structurally valid request.
+    SolverFailure = 7,
+    /// The request kind byte is not known to this server.
+    UnknownKind = 8,
+    /// Unexpected internal failure (executor gone, poisoned state).
+    Internal = 9,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::LimitExceeded,
+            4 => ErrorCode::UnknownKey,
+            5 => ErrorCode::DeadlineExceeded,
+            6 => ErrorCode::InvalidGraph,
+            7 => ErrorCode::SolverFailure,
+            8 => ErrorCode::UnknownKind,
+            9 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnsupportedVersion => "unsupported-version",
+            ErrorCode::LimitExceeded => "limit-exceeded",
+            ErrorCode::UnknownKey => "unknown-key",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::InvalidGraph => "invalid-graph",
+            ErrorCode::SolverFailure => "solver-failure",
+            ErrorCode::UnknownKind => "unknown-kind",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// Submit a graph for sparsification; builds (or finds) the cache
+    /// entry and returns its key.
+    Sparsify {
+        /// Quality dial and seed.
+        params: SparsifyParams,
+        /// The graph to sparsify.
+        graph: WireGraph,
+    },
+    /// Solve `L_P x = b` against the cached sparsifier factor.
+    Solve {
+        /// Cache key from a sparsify/mutate response.
+        key: u64,
+        /// Per-request queue deadline in milliseconds (`0` = server
+        /// default).
+        deadline_ms: u32,
+        /// Right-hand side (length must equal the graph's vertex count).
+        rhs: Vec<f64>,
+    },
+    /// Solve against many right-hand sides in one request.
+    SolveMany {
+        /// Cache key from a sparsify/mutate response.
+        key: u64,
+        /// Per-request queue deadline in milliseconds (`0` = server
+        /// default).
+        deadline_ms: u32,
+        /// Right-hand sides (each of vertex-count length).
+        rhs: Vec<Vec<f64>>,
+    },
+    /// Edit the cached entry's graph in place through the incremental
+    /// sparsifier; re-keys the entry and returns the new key.
+    Mutate {
+        /// Cache key of the entry to edit.
+        key: u64,
+        /// Edit batch, applied atomically.
+        edits: Vec<WireEdit>,
+    },
+    /// Drop a cache entry.
+    Invalidate {
+        /// Cache key of the entry to drop.
+        key: u64,
+    },
+    /// Snapshot the server's counters.
+    Stats,
+}
+
+/// Cache disposition of a sparsify request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The entry already existed; the factorization was reused warm.
+    Hit,
+    /// The entry was built by this request.
+    Built,
+}
+
+/// Server counters, as reported by a stats response. All counters are
+/// process-lifetime totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Live cache entries.
+    pub entries: u64,
+    /// Approximate resident bytes across live entries.
+    pub resident_bytes: u64,
+    /// Configured LRU byte budget.
+    pub budget_bytes: u64,
+    /// Sparsify requests answered from cache.
+    pub sparsify_hits: u64,
+    /// Sparsify requests that built a new entry.
+    pub sparsify_builds: u64,
+    /// Entries evicted by the LRU byte budget.
+    pub evictions: u64,
+    /// Entries dropped by explicit invalidation.
+    pub invalidations: u64,
+    /// Mutate batches applied through the incremental path.
+    pub mutations: u64,
+    /// Cache entries rebuilt from scratch by a mutate request (always 0
+    /// in the current protocol: mutation either patches the live entry
+    /// incrementally or fails without side effects).
+    pub mutation_rebuilds: u64,
+    /// Solve/solve-many requests completed successfully.
+    pub solves: u64,
+    /// Coalesced solve passes executed (each one factor sweep set).
+    pub batches: u64,
+    /// Largest column count coalesced into one pass.
+    pub max_batch: u64,
+    /// Solves rejected because their deadline passed while queued.
+    pub deadline_misses: u64,
+    /// Requests rejected by per-request limits.
+    pub limit_rejections: u64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Ping answer.
+    Pong,
+    /// Sparsify answer.
+    SparsifyOk {
+        /// Cache key addressing the entry (graph content × config).
+        key: u64,
+        /// Vertex count of the sparsifier (same as the input graph).
+        n: u64,
+        /// Edges selected into the sparsifier (tree + recovered).
+        selected_edges: u64,
+        /// Spanning-tree backbone edge count (`n - 1`).
+        tree_edges: u64,
+        /// Whether the entry was found warm or built.
+        cache: CacheOutcome,
+    },
+    /// Single solve answer.
+    SolveOk {
+        /// The mean-zero solution `L_P⁺ b`.
+        x: Vec<f64>,
+        /// Total right-hand-side columns coalesced into the factor pass
+        /// that served this request (≥ 1; > 1 means batching happened).
+        batch_cols: u32,
+    },
+    /// Multi-RHS solve answer.
+    SolveManyOk {
+        /// Solutions, one per request column, in request order.
+        xs: Vec<Vec<f64>>,
+        /// Total columns coalesced into the serving pass.
+        batch_cols: u32,
+    },
+    /// Mutation answer.
+    MutateOk {
+        /// The entry's new cache key (hash of the edited graph).
+        key: u64,
+        /// Edge heats re-scored against the frozen embedding.
+        dirty_edges: u64,
+        /// Whether the selected edge set changed.
+        selection_changed: bool,
+        /// Factor columns re-factorized by the patch (0 when the
+        /// selected subgraph was untouched).
+        cols_refactored: u64,
+        /// Total factor columns (the reuse denominator; 0 when the
+        /// factor was untouched).
+        cols_total: u64,
+        /// Whether the patch fell back to a full numeric pass/rebuild.
+        full_refactor: bool,
+    },
+    /// Invalidation answer.
+    InvalidateOk {
+        /// Whether an entry existed under the key.
+        existed: bool,
+    },
+    /// Stats snapshot.
+    StatsOk(ServerStats),
+    /// Structured failure for the request this frame answers.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable context.
+        message: String,
+    },
+}
+
+// Wire kind bytes. Requests sit below 0x80, responses at or above.
+const K_PING: u8 = 0x01;
+const K_SPARSIFY: u8 = 0x02;
+const K_SOLVE: u8 = 0x03;
+const K_SOLVE_MANY: u8 = 0x04;
+const K_MUTATE: u8 = 0x05;
+const K_INVALIDATE: u8 = 0x06;
+const K_STATS: u8 = 0x07;
+const K_PONG: u8 = 0x81;
+const K_SPARSIFY_OK: u8 = 0x82;
+const K_SOLVE_OK: u8 = 0x83;
+const K_SOLVE_MANY_OK: u8 = 0x84;
+const K_MUTATE_OK: u8 = 0x85;
+const K_INVALIDATE_OK: u8 = 0x86;
+const K_STATS_OK: u8 = 0x87;
+const K_ERROR: u8 = 0xff;
+
+/// Little-endian payload writer.
+#[derive(Debug, Default)]
+struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    fn new(version: u8, kind: u8) -> Self {
+        ByteWriter {
+            buf: vec![version, kind],
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn f64s(&mut self, vs: &[f64]) {
+        // Bulk append: one grow, then straight-line byte writes. Solve
+        // frames are dominated by these arrays, so this path sets the
+        // codec's throughput.
+        let start = self.buf.len();
+        self.buf.resize(start + vs.len() * 8, 0);
+        for (dst, v) in self.buf[start..].chunks_exact_mut(8).zip(vs) {
+            dst.copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    fn str(&mut self, s: &str) {
+        // Length-prefixed UTF-8, capped so a pathological message can
+        // never dominate a frame.
+        let bytes = s.as_bytes();
+        let len = bytes.len().min(u16::MAX as usize);
+        self.u16(len as u16);
+        self.buf.extend_from_slice(&bytes[..len]);
+    }
+}
+
+/// Little-endian bounds-checked payload reader.
+#[derive(Debug)]
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> ServeResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(ServeError::Protocol {
+                context: format!(
+                    "payload truncated: wanted {n} bytes, {} left",
+                    self.remaining()
+                ),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> ServeResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> ServeResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> ServeResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> ServeResult<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn f64(&mut self) -> ServeResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Validates an element count against the bytes actually present, so
+    /// a hostile count can never trigger a large allocation.
+    fn count(&mut self, elem_bytes: usize) -> ServeResult<usize> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(elem_bytes) > self.remaining() {
+            return Err(ServeError::Protocol {
+                context: format!(
+                    "count {count} x {elem_bytes} bytes exceeds remaining payload ({})",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(count)
+    }
+
+    fn f64s(&mut self, count: usize) -> ServeResult<Vec<f64>> {
+        // Bulk read: one bounds check for the whole array, then
+        // straight-line conversions (the codec's hot path).
+        let bytes = self.take(count * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                f64::from_bits(u64::from_le_bytes(a))
+            })
+            .collect())
+    }
+
+    fn str(&mut self) -> ServeResult<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ServeError::Protocol {
+            context: "message string is not valid UTF-8".to_string(),
+        })
+    }
+
+    fn finish(self) -> ServeResult<()> {
+        if self.remaining() != 0 {
+            return Err(ServeError::Protocol {
+                context: format!("{} trailing bytes after payload body", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Serializes into a complete payload (version + kind + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => ByteWriter::new(PROTOCOL_VERSION, K_PING).buf,
+            Request::Sparsify { params, graph } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_SPARSIFY);
+                w.f64(params.sigma2);
+                w.u64(params.seed);
+                w.u64(graph.n);
+                w.u32(graph.edges.len() as u32);
+                for &(u, v, weight) in &graph.edges {
+                    w.u32(u);
+                    w.u32(v);
+                    w.f64(weight);
+                }
+                w.buf
+            }
+            Request::Solve {
+                key,
+                deadline_ms,
+                rhs,
+            } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_SOLVE);
+                w.u64(*key);
+                w.u32(*deadline_ms);
+                w.u32(rhs.len() as u32);
+                w.f64s(rhs);
+                w.buf
+            }
+            Request::SolveMany {
+                key,
+                deadline_ms,
+                rhs,
+            } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_SOLVE_MANY);
+                w.u64(*key);
+                w.u32(*deadline_ms);
+                w.u32(rhs.len() as u32);
+                w.u32(rhs.first().map_or(0, Vec::len) as u32);
+                for col in rhs {
+                    w.f64s(col);
+                }
+                w.buf
+            }
+            Request::Mutate { key, edits } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_MUTATE);
+                w.u64(*key);
+                w.u32(edits.len() as u32);
+                for e in edits {
+                    match *e {
+                        WireEdit::Add { u, v, weight } => {
+                            w.u8(0);
+                            w.u32(u);
+                            w.u32(v);
+                            w.f64(weight);
+                        }
+                        WireEdit::Remove { u, v } => {
+                            w.u8(1);
+                            w.u32(u);
+                            w.u32(v);
+                            w.f64(0.0);
+                        }
+                    }
+                }
+                w.buf
+            }
+            Request::Invalidate { key } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_INVALIDATE);
+                w.u64(*key);
+                w.buf
+            }
+            Request::Stats => ByteWriter::new(PROTOCOL_VERSION, K_STATS).buf,
+        }
+    }
+
+    /// Parses a payload (version + kind + body) into a request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnsupportedVersion`] on a version this library does
+    /// not speak, [`ServeError::UnknownKind`] on an unknown kind byte,
+    /// [`ServeError::Protocol`] on any structural violation.
+    pub fn decode(payload: &[u8]) -> ServeResult<Request> {
+        let mut r = ByteReader::new(payload);
+        let version = r.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(ServeError::UnsupportedVersion { got: version });
+        }
+        let kind = r.u8()?;
+        let req = match kind {
+            K_PING => Request::Ping,
+            K_SPARSIFY => {
+                let sigma2 = r.f64()?;
+                let seed = r.u64()?;
+                let n = r.u64()?;
+                let m = r.count(16)?;
+                let mut edges = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let u = r.u32()?;
+                    let v = r.u32()?;
+                    let weight = r.f64()?;
+                    edges.push((u, v, weight));
+                }
+                Request::Sparsify {
+                    params: SparsifyParams { sigma2, seed },
+                    graph: WireGraph { n, edges },
+                }
+            }
+            K_SOLVE => {
+                let key = r.u64()?;
+                let deadline_ms = r.u32()?;
+                let n = r.count(8)?;
+                Request::Solve {
+                    key,
+                    deadline_ms,
+                    rhs: r.f64s(n)?,
+                }
+            }
+            K_SOLVE_MANY => {
+                let key = r.u64()?;
+                let deadline_ms = r.u32()?;
+                let cols = r.u32()? as usize;
+                let n = r.count(8)?;
+                if cols.saturating_mul(n).saturating_mul(8) > r.remaining() {
+                    return Err(ServeError::Protocol {
+                        context: format!("{cols} columns x {n} rows exceeds payload"),
+                    });
+                }
+                let mut rhs = Vec::with_capacity(cols);
+                for _ in 0..cols {
+                    rhs.push(r.f64s(n)?);
+                }
+                Request::SolveMany {
+                    key,
+                    deadline_ms,
+                    rhs,
+                }
+            }
+            K_MUTATE => {
+                let key = r.u64()?;
+                let count = r.count(17)?;
+                let mut edits = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let op = r.u8()?;
+                    let u = r.u32()?;
+                    let v = r.u32()?;
+                    let weight = r.f64()?;
+                    edits.push(match op {
+                        0 => WireEdit::Add { u, v, weight },
+                        1 => WireEdit::Remove { u, v },
+                        other => {
+                            return Err(ServeError::Protocol {
+                                context: format!("unknown edit op {other}"),
+                            })
+                        }
+                    });
+                }
+                Request::Mutate { key, edits }
+            }
+            K_INVALIDATE => Request::Invalidate { key: r.u64()? },
+            K_STATS => Request::Stats,
+            other => return Err(ServeError::UnknownKind { kind: other }),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes into a complete payload (version + kind + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Pong => ByteWriter::new(PROTOCOL_VERSION, K_PONG).buf,
+            Response::SparsifyOk {
+                key,
+                n,
+                selected_edges,
+                tree_edges,
+                cache,
+            } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_SPARSIFY_OK);
+                w.u64(*key);
+                w.u64(*n);
+                w.u64(*selected_edges);
+                w.u64(*tree_edges);
+                w.u8(match cache {
+                    CacheOutcome::Hit => 1,
+                    CacheOutcome::Built => 0,
+                });
+                w.buf
+            }
+            Response::SolveOk { x, batch_cols } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_SOLVE_OK);
+                w.u32(*batch_cols);
+                w.u32(x.len() as u32);
+                w.f64s(x);
+                w.buf
+            }
+            Response::SolveManyOk { xs, batch_cols } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_SOLVE_MANY_OK);
+                w.u32(*batch_cols);
+                w.u32(xs.len() as u32);
+                w.u32(xs.first().map_or(0, Vec::len) as u32);
+                for col in xs {
+                    w.f64s(col);
+                }
+                w.buf
+            }
+            Response::MutateOk {
+                key,
+                dirty_edges,
+                selection_changed,
+                cols_refactored,
+                cols_total,
+                full_refactor,
+            } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_MUTATE_OK);
+                w.u64(*key);
+                w.u64(*dirty_edges);
+                w.u8(u8::from(*selection_changed));
+                w.u64(*cols_refactored);
+                w.u64(*cols_total);
+                w.u8(u8::from(*full_refactor));
+                w.buf
+            }
+            Response::InvalidateOk { existed } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_INVALIDATE_OK);
+                w.u8(u8::from(*existed));
+                w.buf
+            }
+            Response::StatsOk(s) => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_STATS_OK);
+                for v in [
+                    s.entries,
+                    s.resident_bytes,
+                    s.budget_bytes,
+                    s.sparsify_hits,
+                    s.sparsify_builds,
+                    s.evictions,
+                    s.invalidations,
+                    s.mutations,
+                    s.mutation_rebuilds,
+                    s.solves,
+                    s.batches,
+                    s.max_batch,
+                    s.deadline_misses,
+                    s.limit_rejections,
+                ] {
+                    w.u64(v);
+                }
+                w.buf
+            }
+            Response::Error { code, message } => {
+                let mut w = ByteWriter::new(PROTOCOL_VERSION, K_ERROR);
+                w.u16(*code as u16);
+                w.str(message);
+                w.buf
+            }
+        }
+    }
+
+    /// Parses a payload (version + kind + body) into a response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> ServeResult<Response> {
+        let mut r = ByteReader::new(payload);
+        let version = r.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(ServeError::UnsupportedVersion { got: version });
+        }
+        let kind = r.u8()?;
+        let resp = match kind {
+            K_PONG => Response::Pong,
+            K_SPARSIFY_OK => {
+                let key = r.u64()?;
+                let n = r.u64()?;
+                let selected_edges = r.u64()?;
+                let tree_edges = r.u64()?;
+                let cache = if r.u8()? == 1 {
+                    CacheOutcome::Hit
+                } else {
+                    CacheOutcome::Built
+                };
+                Response::SparsifyOk {
+                    key,
+                    n,
+                    selected_edges,
+                    tree_edges,
+                    cache,
+                }
+            }
+            K_SOLVE_OK => {
+                let batch_cols = r.u32()?;
+                let n = r.count(8)?;
+                Response::SolveOk {
+                    x: r.f64s(n)?,
+                    batch_cols,
+                }
+            }
+            K_SOLVE_MANY_OK => {
+                let batch_cols = r.u32()?;
+                let cols = r.u32()? as usize;
+                let n = r.count(8)?;
+                if cols.saturating_mul(n).saturating_mul(8) > r.remaining() {
+                    return Err(ServeError::Protocol {
+                        context: format!("{cols} columns x {n} rows exceeds payload"),
+                    });
+                }
+                let mut xs = Vec::with_capacity(cols);
+                for _ in 0..cols {
+                    xs.push(r.f64s(n)?);
+                }
+                Response::SolveManyOk { xs, batch_cols }
+            }
+            K_MUTATE_OK => Response::MutateOk {
+                key: r.u64()?,
+                dirty_edges: r.u64()?,
+                selection_changed: r.u8()? == 1,
+                cols_refactored: r.u64()?,
+                cols_total: r.u64()?,
+                full_refactor: r.u8()? == 1,
+            },
+            K_INVALIDATE_OK => Response::InvalidateOk {
+                existed: r.u8()? == 1,
+            },
+            K_STATS_OK => {
+                let mut vals = [0u64; 14];
+                for v in &mut vals {
+                    *v = r.u64()?;
+                }
+                Response::StatsOk(ServerStats {
+                    entries: vals[0],
+                    resident_bytes: vals[1],
+                    budget_bytes: vals[2],
+                    sparsify_hits: vals[3],
+                    sparsify_builds: vals[4],
+                    evictions: vals[5],
+                    invalidations: vals[6],
+                    mutations: vals[7],
+                    mutation_rebuilds: vals[8],
+                    solves: vals[9],
+                    batches: vals[10],
+                    max_batch: vals[11],
+                    deadline_misses: vals[12],
+                    limit_rejections: vals[13],
+                })
+            }
+            K_ERROR => {
+                let raw = r.u16()?;
+                let code = ErrorCode::from_u16(raw).ok_or_else(|| ServeError::Protocol {
+                    context: format!("unknown error code {raw}"),
+                })?;
+                Response::Error {
+                    code,
+                    message: r.str()?,
+                }
+            }
+            other => return Err(ServeError::UnknownKind { kind: other }),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying stream.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> ServeResult<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| ServeError::TooLarge {
+        context: format!(
+            "frame payload of {} bytes overflows the length prefix",
+            payload.len()
+        ),
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame, enforcing `max_bytes` before
+/// allocating. Returns `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// [`ServeError::TooLarge`] when the advertised length exceeds
+/// `max_bytes` (or the hard [`MAX_FRAME_BYTES_CEILING`]); I/O errors,
+/// including unexpected EOF mid-frame, surface as [`ServeError::Io`].
+pub fn read_frame<R: Read>(r: &mut R, max_bytes: u32) -> ServeResult<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF before any length byte is a normal connection close.
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(k) => r.read_exact(&mut len_buf[k..])?,
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            r.read_exact(&mut len_buf)?;
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max_bytes.min(MAX_FRAME_BYTES_CEILING) {
+        return Err(ServeError::TooLarge {
+            context: format!("frame of {len} bytes exceeds the {max_bytes}-byte limit"),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let payload = req.encode();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let payload = resp.encode();
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Sparsify {
+            params: SparsifyParams {
+                sigma2: 100.0,
+                seed: 7,
+            },
+            graph: WireGraph {
+                n: 3,
+                edges: vec![(0, 1, 1.5), (1, 2, 0.25)],
+            },
+        });
+        round_trip_request(Request::Solve {
+            key: 0xdead_beef,
+            deadline_ms: 250,
+            rhs: vec![1.0, -0.5, -0.5],
+        });
+        round_trip_request(Request::SolveMany {
+            key: 1,
+            deadline_ms: 0,
+            rhs: vec![vec![1.0, -1.0], vec![2.0, -2.0]],
+        });
+        round_trip_request(Request::Mutate {
+            key: 9,
+            edits: vec![
+                WireEdit::Add {
+                    u: 0,
+                    v: 5,
+                    weight: 2.0,
+                },
+                WireEdit::Remove { u: 1, v: 2 },
+            ],
+        });
+        round_trip_request(Request::Invalidate { key: 3 });
+        round_trip_request(Request::Stats);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::SparsifyOk {
+            key: 42,
+            n: 100,
+            selected_edges: 120,
+            tree_edges: 99,
+            cache: CacheOutcome::Hit,
+        });
+        round_trip_response(Response::SolveOk {
+            x: vec![0.5, -0.5],
+            batch_cols: 8,
+        });
+        round_trip_response(Response::SolveManyOk {
+            xs: vec![vec![1.0], vec![2.0]],
+            batch_cols: 2,
+        });
+        round_trip_response(Response::MutateOk {
+            key: 7,
+            dirty_edges: 3,
+            selection_changed: true,
+            cols_refactored: 12,
+            cols_total: 99,
+            full_refactor: false,
+        });
+        round_trip_response(Response::InvalidateOk { existed: false });
+        round_trip_response(Response::StatsOk(ServerStats {
+            entries: 1,
+            resident_bytes: 4096,
+            budget_bytes: 1 << 20,
+            sparsify_hits: 2,
+            sparsify_builds: 1,
+            evictions: 0,
+            invalidations: 0,
+            mutations: 5,
+            mutation_rebuilds: 0,
+            solves: 17,
+            batches: 3,
+            max_batch: 9,
+            deadline_misses: 1,
+            limit_rejections: 2,
+        }));
+        round_trip_response(Response::Error {
+            code: ErrorCode::UnknownKey,
+            message: "no entry under 0x2a".to_string(),
+        });
+    }
+
+    #[test]
+    fn exact_f64_bits_survive() {
+        let weird = f64::from_bits(0x7ff8_0000_0000_0001); // NaN payload
+        let resp = Response::SolveOk {
+            x: vec![weird, -0.0],
+            batch_cols: 1,
+        };
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        if let Response::SolveOk { x, .. } = decoded {
+            assert_eq!(x[0].to_bits(), weird.to_bits());
+            assert_eq!(x[1].to_bits(), (-0.0f64).to_bits());
+        } else {
+            panic!("wrong kind");
+        }
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_before_allocation() {
+        // A solve frame advertising u32::MAX rhs entries with a tiny body.
+        let mut payload = vec![PROTOCOL_VERSION, 0x03];
+        payload.extend_from_slice(&0u64.to_le_bytes()); // key
+        payload.extend_from_slice(&0u32.to_le_bytes()); // deadline
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        let err = Request::decode(&payload).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol { .. }), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ServeError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload[0] = 99;
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ServeError::UnsupportedVersion { got: 99 })
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let payload = vec![PROTOCOL_VERSION, 0x70];
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ServeError::UnknownKind { kind: 0x70 })
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_limits() {
+        let payload = Request::Stats.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf.clone());
+        let got = read_frame(&mut cursor, 1024).unwrap().unwrap();
+        assert_eq!(got, payload);
+        // EOF at a boundary is a clean None.
+        assert!(read_frame(&mut cursor, 1024).unwrap().is_none());
+        // An oversized advertised length is rejected up front.
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, 1),
+            Err(ServeError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_solve_many_is_encoded_with_first_len() {
+        // The encoder uses the first column's length; the server
+        // validates per-column lengths against n after decode. A ragged
+        // request therefore fails decode (second column runs past the
+        // payload or leaves trailing bytes).
+        let req = Request::SolveMany {
+            key: 0,
+            deadline_ms: 0,
+            rhs: vec![vec![1.0, 2.0], vec![3.0]],
+        };
+        assert!(Request::decode(&req.encode()).is_err());
+    }
+}

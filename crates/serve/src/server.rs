@@ -1,0 +1,707 @@
+//! The sparsification server: accept loop, per-connection request
+//! handling, and the solve-batching executor.
+//!
+//! # Threading model
+//!
+//! Three kinds of threads cooperate around one shared state:
+//!
+//! - the **accept loop** spawns one handler thread per connection;
+//! - **connection handlers** read frames, decode requests, and serve
+//!   everything except solves directly (sparsify builds run *outside*
+//!   the state lock so a large build never stalls solves on other
+//!   entries);
+//! - a single **executor** drains the solve queue. Solve and
+//!   solve-many requests are never answered inline: the handler
+//!   enqueues a `SolveJob` and blocks on a reply channel.
+//!
+//! # Solve batching
+//!
+//! The executor pops the first queued job, then sleeps for the
+//! configured gather window before draining the queue. Every drained
+//! job with the same cache key is coalesced into **one**
+//! [`GroundedSolver::solve_many`](sass_solver::GroundedSolver::solve_many)
+//! pass — concurrent clients solving against the same cached factor
+//! share its sweeps through the blocked multi-RHS path instead of
+//! re-walking the factor once per right-hand side. Each response
+//! reports `batch_cols`, the total column count of the pass that
+//! served it, so clients (and the benches) can observe coalescing. A
+//! zero gather window degrades gracefully to drain-what's-queued
+//! (opportunistic coalescing); capping
+//! [`ServerConfig::max_batch_cols`] at 1 disables coalescing entirely,
+//! which is the sequential baseline configuration used by the benches.
+//!
+//! Deadlines are enforced at dispatch time: a job whose deadline passed
+//! while it sat in the queue is answered with a `DeadlineExceeded`
+//! error frame and never reaches the solver.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sass_core::{cache_key, IncrementalSparsifier};
+
+use crate::cache::SparsifierCache;
+use crate::protocol::{
+    read_frame, write_frame, CacheOutcome, ErrorCode, Request, Response, ServerStats,
+    SparsifyParams, WireGraph,
+};
+use crate::{ServeError, ServeResult};
+
+/// Per-request resource ceilings. Violations are answered with a
+/// structured [`ErrorCode::LimitExceeded`] frame, not a dropped
+/// connection.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Largest vertex count a sparsify request may submit.
+    pub max_vertices: usize,
+    /// Largest edge count a sparsify request may submit.
+    pub max_edges: usize,
+    /// Largest column count a solve-many request may carry.
+    pub max_rhs_columns: usize,
+    /// Largest frame payload accepted, in bytes.
+    pub max_frame_bytes: u32,
+    /// Queue deadline applied to solves that pass `deadline_ms = 0`.
+    pub default_deadline: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_vertices: 1 << 20,
+            max_edges: 1 << 24,
+            max_rhs_columns: 1024,
+            max_frame_bytes: 1 << 28,
+            default_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (the bound address
+    /// is available from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Per-request ceilings.
+    pub limits: Limits,
+    /// LRU byte budget for the sparsifier cache (see
+    /// [`SparsifierCache`]).
+    pub cache_budget_bytes: usize,
+    /// How long the executor waits after the first queued solve before
+    /// draining, to let concurrent requests coalesce into one blocked
+    /// pass. Zero disables gathering (drain immediately); queued
+    /// requests still coalesce opportunistically.
+    pub gather_window: Duration,
+    /// Most right-hand-side columns coalesced into one factor pass —
+    /// bounds per-pass latency under heavy coalescing. `1` disables
+    /// batching entirely (every request is its own pass); that is the
+    /// sequential baseline configuration the serve bench compares
+    /// against. A single request carrying more columns than the cap
+    /// still runs as one pass.
+    pub max_batch_cols: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            limits: Limits::default(),
+            cache_budget_bytes: 256 << 20,
+            gather_window: Duration::from_millis(1),
+            max_batch_cols: 256,
+        }
+    }
+}
+
+/// Mutex-protected core: the cache plus every counter the stats frame
+/// reports.
+#[derive(Debug)]
+struct State {
+    cache: SparsifierCache,
+    invalidations: u64,
+    sparsify_hits: u64,
+    sparsify_builds: u64,
+    mutations: u64,
+    solves: u64,
+    batches: u64,
+    max_batch: u64,
+    deadline_misses: u64,
+    limit_rejections: u64,
+}
+
+impl State {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            entries: self.cache.len() as u64,
+            resident_bytes: self.cache.resident_bytes() as u64,
+            budget_bytes: self.cache.budget_bytes() as u64,
+            sparsify_hits: self.sparsify_hits,
+            sparsify_builds: self.sparsify_builds,
+            evictions: self.cache.evictions(),
+            invalidations: self.invalidations,
+            mutations: self.mutations,
+            mutation_rebuilds: 0,
+            solves: self.solves,
+            batches: self.batches,
+            max_batch: self.max_batch,
+            deadline_misses: self.deadline_misses,
+            limit_rejections: self.limit_rejections,
+        }
+    }
+}
+
+/// What the executor sends back for one solve: the solution columns
+/// plus the total column count of the pass that carried them, or a
+/// structured error.
+type SolveVerdict = Result<(Vec<Vec<f64>>, u32), (ErrorCode, String)>;
+
+/// One queued solve awaiting the executor.
+struct SolveJob {
+    key: u64,
+    rhs: Vec<Vec<f64>>,
+    deadline: Instant,
+    reply: mpsc::Sender<SolveVerdict>,
+}
+
+/// State shared by every thread the server runs.
+struct Shared {
+    state: Mutex<State>,
+    queue: Mutex<VecDeque<SolveJob>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    limits: Limits,
+    gather_window: Duration,
+    max_batch_cols: usize,
+}
+
+/// Recovers the guard from a poisoned lock: a panicking handler thread
+/// must not wedge the whole server, and every critical section leaves
+/// the state structurally valid between statements that matter.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A running server. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop and the executor;
+/// open connections are closed as their handlers observe the flag.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    executor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every thread to stop and joins the accept loop and the
+    /// executor.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds the listener and spawns the accept loop and the executor.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] if the address cannot be bound.
+pub fn serve(config: ServerConfig) -> ServeResult<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            cache: SparsifierCache::new(config.cache_budget_bytes),
+            invalidations: 0,
+            sparsify_hits: 0,
+            sparsify_builds: 0,
+            mutations: 0,
+            solves: 0,
+            batches: 0,
+            max_batch: 0,
+            deadline_misses: 0,
+            limit_rejections: 0,
+        }),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        limits: config.limits,
+        gather_window: config.gather_window,
+        max_batch_cols: config.max_batch_cols.max(1),
+    });
+
+    let executor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("sass-serve-exec".to_string())
+            .spawn(move || executor_loop(&shared))?
+    };
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("sass-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        executor: Some(executor),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Frames are small and latency-bound: without this, Nagle's
+        // algorithm holds replies for the peer's delayed ACK (~40 ms
+        // per round-trip on loopback).
+        let _ = stream.set_nodelay(true);
+        let shared = Arc::clone(shared);
+        // Connection handlers are detached: they exit when the client
+        // closes, on a framing error, or when they observe shutdown.
+        let _ = std::thread::Builder::new()
+            .name("sass-serve-conn".to_string())
+            .spawn(move || connection_loop(stream, &shared));
+    }
+}
+
+/// Reads frames off one connection until EOF, a fatal framing error, or
+/// shutdown.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    // Solve frames carry n-length f64 arrays; 64 KiB buffers keep the
+    // syscall count per frame small without hoarding memory per
+    // connection.
+    let mut reader = std::io::BufReader::with_capacity(
+        1 << 16,
+        match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        },
+    );
+    let mut writer = std::io::BufWriter::with_capacity(1 << 16, stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut reader, shared.limits.max_frame_bytes) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean close
+            Err(ServeError::TooLarge { context }) => {
+                // The oversized payload was never read, so the stream is
+                // desynchronized: answer once, then close.
+                let resp = Response::Error {
+                    code: ErrorCode::LimitExceeded,
+                    message: context,
+                };
+                let _ = write_frame(&mut writer, &resp.encode());
+                return;
+            }
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => handle_request(req, shared),
+            // Length-prefixed framing survives a malformed body: report
+            // and keep the connection.
+            Err(ServeError::UnsupportedVersion { got }) => Response::Error {
+                code: ErrorCode::UnsupportedVersion,
+                message: format!("this server speaks version 1, frame carried {got}"),
+            },
+            Err(ServeError::UnknownKind { kind }) => Response::Error {
+                code: ErrorCode::UnknownKind,
+                message: format!("unknown request kind {kind:#04x}"),
+            },
+            Err(e) => Response::Error {
+                code: ErrorCode::Malformed,
+                message: e.to_string(),
+            },
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serves one decoded request. Solves block on the executor's reply;
+/// everything else is answered inline.
+fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Sparsify { params, graph } => handle_sparsify(params, &graph, shared),
+        Request::Solve {
+            key,
+            deadline_ms,
+            rhs,
+        } => match submit_solve(key, vec![rhs], deadline_ms, shared) {
+            Ok((mut xs, batch_cols)) => Response::SolveOk {
+                x: xs.pop().unwrap_or_default(),
+                batch_cols,
+            },
+            Err((code, message)) => Response::Error { code, message },
+        },
+        Request::SolveMany {
+            key,
+            deadline_ms,
+            rhs,
+        } => {
+            if rhs.len() > shared.limits.max_rhs_columns {
+                lock(&shared.state).limit_rejections += 1;
+                return Response::Error {
+                    code: ErrorCode::LimitExceeded,
+                    message: format!(
+                        "{} rhs columns exceeds the limit of {}",
+                        rhs.len(),
+                        shared.limits.max_rhs_columns
+                    ),
+                };
+            }
+            match submit_solve(key, rhs, deadline_ms, shared) {
+                Ok((xs, batch_cols)) => Response::SolveManyOk { xs, batch_cols },
+                Err((code, message)) => Response::Error { code, message },
+            }
+        }
+        Request::Mutate { key, edits } => handle_mutate(key, &edits, shared),
+        Request::Invalidate { key } => {
+            let mut state = lock(&shared.state);
+            let existed = state.cache.remove(key);
+            if existed {
+                state.invalidations += 1;
+            }
+            Response::InvalidateOk { existed }
+        }
+        Request::Stats => Response::StatsOk(lock(&shared.state).stats()),
+    }
+}
+
+fn handle_sparsify(params: SparsifyParams, graph: &WireGraph, shared: &Arc<Shared>) -> Response {
+    let limits = &shared.limits;
+    if graph.n > limits.max_vertices as u64 || graph.edges.len() > limits.max_edges {
+        lock(&shared.state).limit_rejections += 1;
+        return Response::Error {
+            code: ErrorCode::LimitExceeded,
+            message: format!(
+                "graph of {} vertices / {} edges exceeds the limits ({} / {})",
+                graph.n,
+                graph.edges.len(),
+                limits.max_vertices,
+                limits.max_edges
+            ),
+        };
+    }
+    let edges: Vec<(usize, usize, f64)> = graph
+        .edges
+        .iter()
+        .map(|&(u, v, w)| (u as usize, v as usize, w))
+        .collect();
+    let g = match sass_graph::Graph::from_edges(graph.n as usize, &edges) {
+        Ok(g) => g,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::InvalidGraph,
+                message: e.to_string(),
+            }
+        }
+    };
+    let config = params.to_config();
+    let key = cache_key(&g, &config);
+
+    {
+        let mut state = lock(&shared.state);
+        if let Some(entry) = state.cache.get(key) {
+            let resp = Response::SparsifyOk {
+                key,
+                n: entry.graph().n() as u64,
+                selected_edges: entry.selected_edge_ids().len() as u64,
+                tree_edges: entry.tree_edge_ids().len() as u64,
+                cache: CacheOutcome::Hit,
+            };
+            state.sparsify_hits += 1;
+            return resp;
+        }
+    }
+
+    // Build outside the state lock so a long construction never stalls
+    // solves or stats on other entries. Two racing submissions of the
+    // same graph may both build; the loser's insert replaces an
+    // identical entry, which is correct if wasteful.
+    let entry = match IncrementalSparsifier::new(&g, &config) {
+        Ok(entry) => entry,
+        Err(e @ sass_core::CoreError::Solver(_)) => {
+            return Response::Error {
+                code: ErrorCode::SolverFailure,
+                message: e.to_string(),
+            }
+        }
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::InvalidGraph,
+                message: e.to_string(),
+            }
+        }
+    };
+    let resp = Response::SparsifyOk {
+        key,
+        n: entry.graph().n() as u64,
+        selected_edges: entry.selected_edge_ids().len() as u64,
+        tree_edges: entry.tree_edge_ids().len() as u64,
+        cache: CacheOutcome::Built,
+    };
+    let mut state = lock(&shared.state);
+    state.cache.insert(key, entry);
+    state.sparsify_builds += 1;
+    resp
+}
+
+fn handle_mutate(key: u64, edits: &[crate::protocol::WireEdit], shared: &Arc<Shared>) -> Response {
+    let graph_edits: Vec<sass_graph::GraphEdit> = edits.iter().map(|e| e.to_graph_edit()).collect();
+    let mut state = lock(&shared.state);
+    let Some(entry) = state.cache.get_mut(key) else {
+        return Response::Error {
+            code: ErrorCode::UnknownKey,
+            message: format!("no cache entry under key {key:#x}"),
+        };
+    };
+    match entry.apply_edits(&graph_edits) {
+        Ok(report) => {
+            let new_key = cache_key(entry.graph(), entry.config());
+            let (cols_refactored, cols_total, full_refactor) = match report.refactor {
+                Some(s) => (s.cols_refactored as u64, s.total_cols as u64, s.full),
+                None => (0, 0, false),
+            };
+            state.cache.rekey(key, new_key);
+            state.mutations += 1;
+            Response::MutateOk {
+                key: new_key,
+                dirty_edges: report.dirty_edges as u64,
+                selection_changed: report.selection_changed,
+                cols_refactored,
+                cols_total,
+                full_refactor,
+            }
+        }
+        Err(e @ sass_core::CoreError::Solver(_)) => {
+            // A failed refactorization may leave the factor partially
+            // updated — the entry can no longer be trusted.
+            state.cache.remove(key);
+            Response::Error {
+                code: ErrorCode::SolverFailure,
+                message: format!("{e}; entry {key:#x} dropped"),
+            }
+        }
+        // Graph-level rejections happen before anything is modified;
+        // the entry stays live.
+        Err(e) => Response::Error {
+            code: ErrorCode::InvalidGraph,
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Enqueues a solve and blocks until the executor answers.
+fn submit_solve(
+    key: u64,
+    rhs: Vec<Vec<f64>>,
+    deadline_ms: u32,
+    shared: &Arc<Shared>,
+) -> SolveVerdict {
+    if rhs.is_empty() {
+        return Err((
+            ErrorCode::InvalidGraph,
+            "solve request carries zero right-hand sides".to_string(),
+        ));
+    }
+    let deadline = Instant::now()
+        + if deadline_ms == 0 {
+            shared.limits.default_deadline
+        } else {
+            Duration::from_millis(u64::from(deadline_ms))
+        };
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = lock(&shared.queue);
+        q.push_back(SolveJob {
+            key,
+            rhs,
+            deadline,
+            reply: tx,
+        });
+    }
+    shared.queue_cv.notify_one();
+    match rx.recv() {
+        Ok(result) => result,
+        Err(_) => Err((
+            ErrorCode::Internal,
+            "executor dropped the reply channel".to_string(),
+        )),
+    }
+}
+
+/// The executor: pop, gather, group by key, one blocked pass per group.
+fn executor_loop(shared: &Arc<Shared>) {
+    loop {
+        let jobs: Vec<SolveJob> = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Fail whatever is still queued instead of hanging
+                    // the handlers that wait on replies.
+                    for job in q.drain(..) {
+                        let _ = job.reply.send(Err((
+                            ErrorCode::Internal,
+                            "server shutting down".to_string(),
+                        )));
+                    }
+                    return;
+                }
+                if !q.is_empty() {
+                    break;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if !shared.gather_window.is_zero() {
+                // Let concurrent requests land before draining. The
+                // window is a coalescing opportunity, not a latency
+                // floor for the degenerate single-client case: waiting
+                // happens with the queue unlocked.
+                drop(q);
+                std::thread::sleep(shared.gather_window);
+                q = lock(&shared.queue);
+            }
+            q.drain(..).collect()
+        };
+        dispatch_jobs(jobs, shared);
+    }
+}
+
+/// Groups drained jobs by cache key, splits each group into chunks of
+/// at most `max_batch_cols` columns (at job granularity — a single job
+/// larger than the cap still runs whole), and serves each chunk with
+/// one `solve_many` pass over the concatenated columns.
+fn dispatch_jobs(jobs: Vec<SolveJob>, shared: &Arc<Shared>) {
+    let mut groups: Vec<(u64, Vec<SolveJob>)> = Vec::new();
+    for job in jobs {
+        match groups.iter_mut().find(|(k, _)| *k == job.key) {
+            Some((_, g)) => g.push(job),
+            None => groups.push((job.key, vec![job])),
+        }
+    }
+    let cap = shared.max_batch_cols;
+    for (key, group) in groups {
+        let mut chunk: Vec<SolveJob> = Vec::new();
+        let mut cols = 0usize;
+        for job in group {
+            if !chunk.is_empty() && cols + job.rhs.len() > cap {
+                serve_group(key, std::mem::take(&mut chunk), shared);
+                cols = 0;
+            }
+            cols += job.rhs.len();
+            chunk.push(job);
+        }
+        if !chunk.is_empty() {
+            serve_group(key, chunk, shared);
+        }
+    }
+}
+
+fn serve_group(key: u64, group: Vec<SolveJob>, shared: &Arc<Shared>) {
+    let now = Instant::now();
+    let (live, expired): (Vec<SolveJob>, Vec<SolveJob>) =
+        group.into_iter().partition(|j| j.deadline >= now);
+    if !expired.is_empty() {
+        let mut state = lock(&shared.state);
+        state.deadline_misses += expired.len() as u64;
+    }
+    for job in expired {
+        let _ = job.reply.send(Err((
+            ErrorCode::DeadlineExceeded,
+            "deadline passed while the solve was queued".to_string(),
+        )));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // The solve runs under the state lock: the factor must not be
+    // mutated or evicted mid-sweep, and entries are not internally
+    // shareable. A single-executor design keeps the hold time equal to
+    // exactly one blocked pass.
+    let mut state = lock(&shared.state);
+    let Some(entry) = state.cache.get(key) else {
+        drop(state);
+        for job in live {
+            let _ = job.reply.send(Err((
+                ErrorCode::UnknownKey,
+                format!("no cache entry under key {key:#x} (evicted or never built)"),
+            )));
+        }
+        return;
+    };
+    let n = entry.graph().n();
+    let (live, malformed): (Vec<SolveJob>, Vec<SolveJob>) = live
+        .into_iter()
+        .partition(|j| j.rhs.iter().all(|col| col.len() == n));
+    if live.is_empty() {
+        drop(state);
+        for job in malformed {
+            let _ = job.reply.send(Err((
+                ErrorCode::InvalidGraph,
+                format!("rhs length does not match the graph's {n} vertices"),
+            )));
+        }
+        return;
+    }
+    let mut live = live;
+    let col_counts: Vec<usize> = live.iter().map(|j| j.rhs.len()).collect();
+    let all_cols: Vec<Vec<f64>> = live
+        .iter_mut()
+        .flat_map(|j| std::mem::take(&mut j.rhs))
+        .collect();
+    let batch_cols = all_cols.len() as u32;
+    let xs = entry.solver().solve_many(&all_cols);
+    state.solves += live.len() as u64;
+    state.batches += 1;
+    state.max_batch = state.max_batch.max(u64::from(batch_cols));
+    drop(state);
+
+    for job in malformed {
+        let _ = job.reply.send(Err((
+            ErrorCode::InvalidGraph,
+            format!("rhs length does not match the graph's {n} vertices"),
+        )));
+    }
+    let mut xs = xs.into_iter();
+    for (job, count) in live.into_iter().zip(col_counts) {
+        let cols: Vec<Vec<f64>> = xs.by_ref().take(count).collect();
+        let _ = job.reply.send(Ok((cols, batch_cols)));
+    }
+}

@@ -31,7 +31,7 @@ use crate::pool;
 use crate::{CsrMatrix, Scalar};
 
 /// Block-compressed sparse row matrix with square `b × b` blocks, `b` ∈
-/// {2, 4} (see the [module docs](self) for the layout rationale).
+/// {2, 4} (see the module docs for the layout rationale).
 ///
 /// # Example
 ///
@@ -255,7 +255,7 @@ impl<S: Scalar> BcsrMatrix<S> {
     /// Matrix-vector product into a caller-provided buffer: `y = A·x`,
     /// streaming `b` output rows per block row with register-resident
     /// accumulators. Bit-for-bit identical to [`CsrMatrix::mul_vec_into`]
-    /// for finite inputs (see the [module docs](self)).
+    /// for finite inputs (see the module docs).
     ///
     /// # Panics
     ///

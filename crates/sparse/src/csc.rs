@@ -26,7 +26,7 @@
 use crate::{CsrMatrix, Scalar};
 
 /// Compressed sparse column matrix with a row-major transpose mirror (see
-/// the [module docs](self) for the layout rationale).
+/// the module docs for the layout rationale).
 ///
 /// # Example
 ///

@@ -215,7 +215,7 @@ pub fn write<W: Write>(a: &CsrMatrix, mut writer: W) -> Result<()> {
 }
 
 /// Writes a symmetric matrix in `coordinate real symmetric` format (lower
-/// triangle only — half the file size of [`write`] for Laplacians).
+/// triangle only — half the file size of [`write()`] for Laplacians).
 ///
 /// # Errors
 ///
@@ -248,7 +248,7 @@ pub fn write_symmetric<W: Write>(a: &CsrMatrix, mut writer: W) -> Result<()> {
 ///
 /// # Errors
 ///
-/// See [`write`].
+/// See [`write()`].
 pub fn write_string(a: &CsrMatrix) -> Result<String> {
     let mut out = Vec::new();
     write(a, &mut out)?;
@@ -263,7 +263,7 @@ pub fn write_string(a: &CsrMatrix) -> Result<String> {
 ///
 /// # Errors
 ///
-/// See [`write`]; additionally fails if the file cannot be created.
+/// See [`write()`]; additionally fails if the file cannot be created.
 pub fn write_path<P: AsRef<Path>>(a: &CsrMatrix, path: P) -> Result<()> {
     let file = std::fs::File::create(path)?;
     write(a, std::io::BufWriter::new(file))

@@ -53,7 +53,7 @@
 //!   restores the configured default (the `SASS_THREADS` value when that
 //!   was set, automatic sizing otherwise).
 //!
-//! While an override is active, [`workers_for`] ignores its minimum-size
+//! While an override is active, [`Pool::workers_for`] ignores its minimum-size
 //! crossover so that tests can force small inputs through real thread
 //! fan-out; under automatic sizing the crossover keeps tiny inputs on the
 //! serial path. Worker threads are spawned lazily on the first dispatch
@@ -260,7 +260,7 @@ impl Pool {
     /// global pool (automatic sizing when unset), the construction-time
     /// count for a [`Pool::with_threads`] pool.
     ///
-    /// An explicit count is a *standing override*: [`workers_for`] skips
+    /// An explicit count is a *standing override*: [`Pool::workers_for`] skips
     /// its minimum-size crossover while one is active, so `set_threads(3)`
     /// forces even small inputs through three-lane fan-out (the hook the
     /// cross-worker-count parity tests use) and `set_threads(1)` denies

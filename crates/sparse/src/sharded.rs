@@ -173,7 +173,7 @@ impl SpillStore {
     ///
     /// # Errors
     ///
-    /// Propagates any I/O failure as [`SparseError::Io`].
+    /// Propagates any I/O failure as [`SparseError::Io`](crate::SparseError::Io).
     pub fn create(mats: &[CsrMatrix], dir: Option<&Path>) -> Result<Arc<SpillStore>> {
         let base = dir.map_or_else(std::env::temp_dir, Path::to_path_buf);
         let unique = format!(
@@ -205,7 +205,7 @@ impl SpillStore {
     ///
     /// # Errors
     ///
-    /// Propagates any I/O or parse failure as a [`SparseError`].
+    /// Propagates any I/O or parse failure as a [`SparseError`](crate::SparseError).
     ///
     /// # Panics
     ///
@@ -269,7 +269,7 @@ enum DomainStore<B> {
 }
 
 /// A sparse backend sharded into per-domain backends by a vertex
-/// separator — see the [module docs](self) for layout, parallelism, and
+/// separator — see the module docs for layout, parallelism, and
 /// the tolerance contract.
 ///
 /// `B` is the storage backend of each interior domain block (row-major
@@ -313,7 +313,7 @@ impl<B: SparseBackend<Scalar = f64>> ShardedBackend<B> {
     ///
     /// # Errors
     ///
-    /// Propagates spill I/O failures ([`SparseError::Io`]) in
+    /// Propagates spill I/O failures ([`SparseError::Io`](crate::SparseError::Io)) in
     /// out-of-core mode; in-core construction is infallible.
     pub fn with_options(a: &CsrMatrix, opts: &ShardOptions) -> Result<Self> {
         let mut backend = Self::in_core(a, opts.domains);

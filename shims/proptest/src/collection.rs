@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::ops::Range;
 
-/// A length specification for [`vec`]: an exact length or a half-open range.
+/// A length specification for [`vec()`]: an exact length or a half-open range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -37,7 +37,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -18,6 +18,7 @@
 //! | [`core`] | `sass-core` | **the paper's algorithm**: heat embedding, edge filtering, densification |
 //! | [`partition`] | `sass-partition` | spectral partitioning, direct vs sparsified backends |
 //! | [`gsp`] | `sass-gsp` | graph signals, low-pass verification, spectral drawing |
+//! | [`serve`] | `sass-serve` | TCP sparsification service: batched solves, content-addressed cache, incremental mutation |
 //!
 //! # Quickstart
 //!
@@ -51,8 +52,15 @@ pub use sass_eigen as eigen;
 pub use sass_graph as graph;
 pub use sass_gsp as gsp;
 pub use sass_partition as partition;
+pub use sass_serve as serve;
 pub use sass_solver as solver;
 pub use sass_sparse as sparse;
+
+// Compile-and-run every ```rust block in the README as a doctest, so the
+// front-page examples cannot rot (see the docs CI job).
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
 
 /// The most common imports for working with SASS.
 pub mod prelude {

@@ -391,9 +391,14 @@ impl ByteWriter {
     }
     fn str(&mut self, s: &str) {
         // Length-prefixed UTF-8, capped so a pathological message can
-        // never dominate a frame.
+        // never dominate a frame. The cut must land on a char boundary:
+        // a split multi-byte sequence would make the peer reject the
+        // whole frame as invalid UTF-8.
         let bytes = s.as_bytes();
-        let len = bytes.len().min(u16::MAX as usize);
+        let mut len = bytes.len().min(u16::MAX as usize);
+        while !s.is_char_boundary(len) {
+            len -= 1;
+        }
         self.u16(len as u16);
         self.buf.extend_from_slice(&bytes[..len]);
     }
@@ -621,7 +626,10 @@ impl Request {
                 let deadline_ms = r.u32()?;
                 let cols = r.u32()? as usize;
                 let n = r.count(8)?;
-                if cols.saturating_mul(n).saturating_mul(8) > r.remaining() {
+                // Charge each column at least one element so an n=0 frame
+                // cannot advertise a huge `cols` that the byte check would
+                // wave through (0 * cols never exceeds anything).
+                if cols.saturating_mul(n.max(1)).saturating_mul(8) > r.remaining() {
                     return Err(ServeError::Protocol {
                         context: format!("{cols} columns x {n} rows exceeds payload"),
                     });
@@ -803,7 +811,9 @@ impl Response {
                 let batch_cols = r.u32()?;
                 let cols = r.u32()? as usize;
                 let n = r.count(8)?;
-                if cols.saturating_mul(n).saturating_mul(8) > r.remaining() {
+                // Same n=0 guard as the request decoder: each advertised
+                // column must be backed by payload bytes.
+                if cols.saturating_mul(n.max(1)).saturating_mul(8) > r.remaining() {
                     return Err(ServeError::Protocol {
                         context: format!("{cols} columns x {n} rows exceeds payload"),
                     });
@@ -1038,6 +1048,44 @@ mod tests {
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // count
         let err = Request::decode(&payload).unwrap_err();
         assert!(matches!(err, ServeError::Protocol { .. }), "{err}");
+    }
+
+    #[test]
+    fn hostile_cols_with_zero_rows_is_rejected() {
+        // n=0 makes the bytes-per-column product vanish, so the column
+        // count must be bounded on its own: u32::MAX columns from a
+        // ~22-byte frame must fail before `Vec::with_capacity`.
+        let mut payload = vec![PROTOCOL_VERSION, 0x04]; // K_SOLVE_MANY
+        payload.extend_from_slice(&0u64.to_le_bytes()); // key
+        payload.extend_from_slice(&0u32.to_le_bytes()); // deadline
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // cols
+        payload.extend_from_slice(&0u32.to_le_bytes()); // n = 0
+        let err = Request::decode(&payload).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol { .. }), "{err}");
+
+        // Same hole on the client side: SolveManyOk decode.
+        let mut payload = vec![PROTOCOL_VERSION, 0x84]; // K_SOLVE_MANY_OK
+        payload.extend_from_slice(&1u32.to_le_bytes()); // batch_cols
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // cols
+        payload.extend_from_slice(&0u32.to_le_bytes()); // n = 0
+        let err = Response::decode(&payload).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol { .. }), "{err}");
+    }
+
+    #[test]
+    fn long_message_truncates_on_a_char_boundary() {
+        // 'é' is 2 bytes; 65535 is odd, so a byte-index cut would land
+        // mid-character and the decoder would reject the frame.
+        let resp = Response::Error {
+            code: ErrorCode::Internal,
+            message: "é".repeat(40_000),
+        };
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        let Response::Error { message, .. } = decoded else {
+            panic!("wrong kind");
+        };
+        assert_eq!(message.len(), 65_534);
+        assert!(message.chars().all(|c| c == 'é'));
     }
 
     #[test]

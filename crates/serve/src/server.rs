@@ -549,6 +549,15 @@ fn submit_solve(
     let (tx, rx) = mpsc::channel();
     {
         let mut q = lock(&shared.queue);
+        // Checked under the queue lock: the executor only exits after a
+        // final drain with the flag set while holding this lock, so a
+        // push that observes the flag clear here is guaranteed to be
+        // drained (and answered) before the executor returns. Without
+        // this check a job enqueued after that final drain would never
+        // be dispatched and `rx.recv()` below would block forever.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err((ErrorCode::Internal, "server shutting down".to_string()));
+        }
         q.push_back(SolveJob {
             key,
             rhs,
